@@ -1,0 +1,65 @@
+"""Shared benchmark fixtures.
+
+The bench suite regenerates every table and in-text quantitative claim of
+the paper at a reduced scale (the full 14,590-trial scale is a
+``trials_scale=1.0`` flag away but takes hours on one core).  Scale is
+controlled by ``REPRO_BENCH_SCALE`` (default 0.1 → ~420 training trials).
+
+Each bench prints a paper-formatted table next to the paper's reported
+numbers and appends it to ``benchmarks/results/<experiment>.txt`` so the
+EXPERIMENTS.md paper-vs-measured index can be regenerated from artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro import SimulationConfig, WorkloadClassificationChallenge
+from repro.data.challenge import CHALLENGE_DATASET_NAMES
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2022"))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_sim_config() -> SimulationConfig:
+    return SimulationConfig(
+        seed=BENCH_SEED,
+        trials_scale=BENCH_SCALE,
+        min_jobs_per_class=6,
+        startup_mean_s=28.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def challenge() -> WorkloadClassificationChallenge:
+    """All seven Table IV datasets at bench scale."""
+    return WorkloadClassificationChallenge.from_simulation(
+        bench_sim_config(), names=CHALLENGE_DATASET_NAMES
+    )
+
+
+@pytest.fixture(scope="session")
+def challenge_smr(challenge) -> WorkloadClassificationChallenge:
+    """The start/middle/random-1 subset (what the paper's RNN section uses)."""
+    names = ("60-start-1", "60-middle-1", "60-random-1")
+    return WorkloadClassificationChallenge(
+        {n: challenge.dataset(n) for n in names}
+    )
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    """Append a named experiment report to benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(experiment: str, text: str) -> None:
+        path = RESULTS_DIR / f"{experiment}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}")
+
+    return _record

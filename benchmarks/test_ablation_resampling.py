@@ -1,0 +1,77 @@
+"""A5 (extension ablation) — resampling as a data multiplier.
+
+Section III-C asks whether the dataset's limited size "can be dealt with
+using regularization or resampling techniques".  Each labelled trial is
+minutes long but the challenge uses one 60-second window per trial; this
+ablation draws k independent random windows per *training* trial (test
+windows untouched) and measures the accuracy gain.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SCALE, bench_sim_config
+from repro.data.augment import multi_window_resample
+from repro.data.labelled import build_labelled_dataset
+from repro.data.splits import train_test_split_by_group
+from repro.data.stats import format_table
+from repro.data.windows import WindowMode, extract_window, window_offsets
+from repro.ml.ensemble import RandomForestClassifier
+from repro.ml.preprocessing import TimeSeriesStandardScaler, upper_triangle_covariance
+
+WINDOW = 540
+
+
+def test_resampling_ablation(benchmark, record_result):
+    labelled = build_labelled_dataset(bench_sim_config()).eligible(WINDOW)
+    train_idx, test_idx = train_test_split_by_group(
+        labelled.labels(), labelled.job_ids(), 0.2, rng=0
+    )
+
+    # Fixed test windows (one random window per test trial).
+    rng = np.random.default_rng(1)
+    test_offsets = window_offsets(
+        labelled.lengths()[test_idx], WINDOW, WindowMode.RANDOM, rng
+    )
+    X_test = np.stack([
+        extract_window(labelled.trials[int(i)].series, int(o), WINDOW)
+        for i, o in zip(test_idx, test_offsets)
+    ]).astype(np.float32)
+    y_test = labelled.labels()[test_idx]
+
+    rows = []
+    accs = {}
+
+    def evaluate(k: int) -> float:
+        X_train, y_train = multi_window_resample(
+            labelled, train_idx, windows_per_trial=k, window=WINDOW, rng=k
+        )
+        scaler = TimeSeriesStandardScaler().fit(X_train)
+        Ftr = upper_triangle_covariance(scaler.transform(X_train))
+        Fte = upper_triangle_covariance(scaler.transform(X_test))
+        clf = RandomForestClassifier(n_estimators=100, max_features=None,
+                                     random_state=0).fit(Ftr, y_train)
+        return clf.score(Fte, y_test)
+
+    accs[1] = benchmark.pedantic(lambda: evaluate(1), rounds=1, iterations=1)
+    for k in (2, 4):
+        accs[k] = evaluate(k)
+    for k, acc in accs.items():
+        rows.append({
+            "windows/trial": k,
+            "train windows": len(train_idx) * k,
+            "accuracy %": f"{100 * acc:.2f}",
+        })
+
+    report = [
+        f"A5 (extension) — multi-window resampling "
+        f"(RF Cov., trials_scale={BENCH_SCALE})",
+        format_table(rows),
+        "",
+        "  (Section III-C: 'Can this be dealt with using regularization or "
+        "resampling techniques?')",
+    ]
+    record_result("A5_resampling", "\n".join(report))
+
+    # Resampling adds information: 4 windows/trial must not hurt, and in
+    # the typical run it helps by several points.
+    assert accs[4] >= accs[1] - 0.03

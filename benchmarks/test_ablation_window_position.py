@@ -1,0 +1,65 @@
+"""A2 — ablation of window position: why the start dataset is hardest.
+
+The paper attributes the start dataset's lower accuracy to class-generic
+data-loading/preprocessing at job start.  Our simulator encodes that
+mechanism explicitly (the STARTUP phase is shared across classes), so this
+ablation both reproduces the accuracy ordering across all seven datasets
+and verifies the mechanism directly: within start windows the early
+samples are near-idle for every class.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.data.challenge import CHALLENGE_DATASET_NAMES
+from repro.data.stats import format_table
+from repro.models import make_rf_cov
+
+
+def test_window_position_ablation(benchmark, record_result, challenge):
+    def evaluate(name):
+        return challenge.evaluate(
+            make_rf_cov(n_estimators=100, max_features=None), name
+        )["accuracy"]
+
+    acc = {}
+    for name in CHALLENGE_DATASET_NAMES:
+        if name == "60-middle-1":
+            acc[name] = benchmark.pedantic(
+                lambda: evaluate(name), rounds=1, iterations=1)
+        else:
+            acc[name] = evaluate(name)
+
+    # Mechanism check: mean GPU utilization in the first 10 seconds of
+    # start windows vs middle windows, across classes.
+    start_ds = challenge.dataset("60-start-1")
+    middle_ds = challenge.dataset("60-middle-1")
+    early = slice(0, 90)  # first 10 s at 9 Hz
+    start_util = float(start_ds.X_train[:, early, 0].mean())
+    middle_util = float(middle_ds.X_train[:, early, 0].mean())
+
+    rows = [{"dataset": n, "RF Cov. accuracy %": f"{100 * acc[n]:.2f}"}
+            for n in CHALLENGE_DATASET_NAMES]
+    report = [
+        f"A2 — window-position ablation (trials_scale={BENCH_SCALE})",
+        format_table(rows),
+        "",
+        f"mean GPU utilization, first 10 s of window: "
+        f"start={start_util:.1f}% vs middle={middle_util:.1f}% — start "
+        "windows open in the class-generic startup phase.",
+    ]
+    record_result("A2_window_position", "\n".join(report))
+
+    randoms = [acc[f"60-random-{i}"] for i in range(1, 6)]
+    # Per-dataset binomial sampling noise at this test-set size.
+    n_test = challenge.dataset("60-random-1").n_test
+    noise = float(np.sqrt(0.25 / n_test))
+    # Ordering: start < random mean <= middle (paper's Table V pattern).
+    assert acc["60-start-1"] < np.mean(randoms)
+    assert acc["60-start-1"] < acc["60-middle-1"]
+    assert np.mean(randoms) <= acc["60-middle-1"] + 2 * noise
+    # Mechanism: start windows begin near idle, middle windows do not.
+    assert start_util < 0.5 * middle_util
+    # The five random datasets agree with each other (paper: R1..R5 within
+    # ~1 point) up to test-set sampling noise.
+    assert np.std(randoms) < max(0.06, 2 * noise)

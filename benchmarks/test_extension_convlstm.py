@@ -1,0 +1,77 @@
+"""E8 (extension) — Section VI future work: the ConvLSTM architecture.
+
+"We believe that the ConvLSTM architecture is promising in its ability to
+capture convolutional features in both the input-to-state and
+state-to-state domains."  This bench trains the ConvLSTM classifier with
+the Section V recipe and compares it against the BiLSTM baseline on the
+60-middle-1 dataset.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.ml.preprocessing import TimeSeriesStandardScaler
+from repro.models.convlstm_model import ConvLSTMClassifier
+from repro.models.lstm_baseline import LSTMClassifier
+from repro.nn import Adam, CyclicCosineLR, NLLLoss, Trainer
+
+DATASET = "60-middle-1"
+TIME_STRIDE = 2
+MAX_EPOCHS = 12
+
+
+def _train(model, X_train, y_train, X_test, y_test, seed=0):
+    opt = Adam(model.parameters(), lr=2e-3)
+    trainer = Trainer(
+        model, opt, NLLLoss(), scheduler=CyclicCosineLR(opt, cycle_len=6),
+        batch_size=32, max_epochs=MAX_EPOCHS, patience=MAX_EPOCHS,
+        shuffle_rng=seed,
+    )
+    tic = time.perf_counter()
+    history = trainer.fit(X_train, y_train, X_test, y_test)
+    return history.best_val_accuracy, time.perf_counter() - tic
+
+
+def test_convlstm_future_work(benchmark, record_result, challenge_smr):
+    ds = challenge_smr.dataset(DATASET)
+    scaler = TimeSeriesStandardScaler()
+    X_train = scaler.fit_transform(ds.X_train).astype(np.float32)[:, ::TIME_STRIDE]
+    X_test = scaler.transform(ds.X_test).astype(np.float32)[:, ::TIME_STRIDE]
+    seq_len = X_train.shape[1]
+    n_classes = 26
+
+    convlstm = ConvLSTMClassifier(
+        n_sensors=7, seq_len=seq_len, n_classes=n_classes,
+        n_segments=12, hidden_channels=24, seed=0,
+    )
+    acc_convlstm, t_convlstm = benchmark.pedantic(
+        lambda: _train(convlstm, X_train, ds.y_train, X_test, ds.y_test),
+        rounds=1, iterations=1,
+    )
+
+    lstm = LSTMClassifier(n_sensors=7, seq_len=seq_len, n_classes=n_classes,
+                          hidden_size=128, seed=0)
+    acc_lstm, t_lstm = _train(lstm, X_train, ds.y_train, X_test, ds.y_test)
+
+    report = [
+        f"E8 (extension) / Section VI — ConvLSTM vs BiLSTM on {DATASET} "
+        f"(trials_scale={BENCH_SCALE}, stride={TIME_STRIDE}, "
+        f"{MAX_EPOCHS} epochs)",
+        f"  ConvLSTM (12 segments, 24 channels): "
+        f"{acc_convlstm:.2%} in {t_convlstm:.0f}s "
+        f"({convlstm.n_parameters():,} params)",
+        f"  BiLSTM (h=128):                      "
+        f"{acc_lstm:.2%} in {t_lstm:.0f}s "
+        f"({lstm.n_parameters():,} params)",
+        "  (paper offers no ConvLSTM numbers — it is proposed as future "
+        "work; this bench realizes it)",
+    ]
+    record_result("E8_extension_convlstm", "\n".join(report))
+
+    # Both models must clear chance decisively; ConvLSTM should be within
+    # striking distance of the LSTM baseline with ~10x fewer recurrent steps.
+    assert acc_convlstm > 0.25
+    assert acc_lstm > 0.25
+    assert acc_convlstm > acc_lstm - 0.25

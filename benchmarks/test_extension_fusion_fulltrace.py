@@ -1,0 +1,103 @@
+"""E9/E10 (extensions) — multi-rate CPU+GPU fusion and full-trace
+classification.
+
+E9 addresses the challenge's Section III-C difficulty (CPU and GPU series
+have different lengths/rates for the same trial) by fusing job-level CPU
+summary statistics with the GPU window's covariance features.
+
+E10 realizes the paper's closing future-work item: classify workloads from
+their *entire* start-to-finish telemetry rather than 60-second snapshots —
+the covariance representation is length-invariant, so the comparison is
+direct.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SCALE, bench_sim_config
+from repro.data.fulltrace import full_trace_features
+from repro.data.fusion import build_fused_dataset, cpu_feature_names
+from repro.data.labelled import trials_from_jobs
+from repro.data.splits import train_test_split_by_group
+from repro.data.windows import WindowMode, extract_window, window_offsets
+from repro.ml.ensemble import RandomForestClassifier
+from repro.ml.preprocessing import (
+    StandardScaler,
+    TimeSeriesStandardScaler,
+    upper_triangle_covariance,
+)
+from repro.simcluster.cluster import ClusterSimulator
+
+WINDOW = 540
+
+
+def _accuracy(Xtr, ytr, Xte, yte) -> float:
+    clf = RandomForestClassifier(n_estimators=100, max_features=None,
+                                 random_state=0).fit(Xtr, ytr)
+    return clf.score(Xte, yte)
+
+
+def test_fusion_and_fulltrace(benchmark, record_result):
+    jobs, _ = ClusterSimulator(bench_sim_config()).generate()
+    labelled = trials_from_jobs(jobs).eligible(WINDOW)
+
+    # --- Shared split at job granularity for all three representations.
+    train_idx, test_idx = train_test_split_by_group(
+        labelled.labels(), labelled.job_ids(), 0.2, rng=0
+    )
+    y = labelled.labels()
+
+    # --- GPU-only: random 60 s window -> covariance features.
+    rng = np.random.default_rng(0)
+    offsets = window_offsets(labelled.lengths(), WINDOW, WindowMode.RANDOM, rng)
+    windows = np.stack([
+        extract_window(t.series, int(o), WINDOW)
+        for t, o in zip(labelled.trials, offsets)
+    ]).astype(np.float32)
+    scaler = TimeSeriesStandardScaler().fit(windows[train_idx])
+    gpu_feats = upper_triangle_covariance(scaler.transform(windows))
+    acc_gpu = benchmark.pedantic(
+        lambda: _accuracy(gpu_feats[train_idx], y[train_idx],
+                          gpu_feats[test_idx], y[test_idx]),
+        rounds=1, iterations=1,
+    )
+
+    # --- E9: fuse job-level CPU summaries with the GPU window features.
+    # build_fused_dataset enumerates trials in the same jobs order used by
+    # trials_from_jobs, so rows align with `labelled` after the same
+    # eligibility filter.
+    _, cpu_all, _, _ = build_fused_dataset(jobs)
+    eligible_mask = np.array(
+        [t.n_samples >= WINDOW for t in trials_from_jobs(jobs).trials]
+    )
+    cpu_feats = cpu_all[eligible_mask]
+    assert cpu_feats.shape[0] == len(labelled)
+    cpu_scaler = StandardScaler().fit(cpu_feats[train_idx])
+    fused = np.hstack([gpu_feats, cpu_scaler.transform(cpu_feats)])
+    acc_fused = _accuracy(fused[train_idx], y[train_idx],
+                          fused[test_idx], y[test_idx])
+
+    # --- E10: full-trace covariance features (whole variable-length series).
+    X_full, y_full, _ = full_trace_features(labelled)
+    acc_full = _accuracy(X_full[train_idx], y_full[train_idx],
+                         X_full[test_idx], y_full[test_idx])
+
+    report = [
+        f"E9/E10 (extensions) — representation comparison, RF 100 trees, "
+        f"trials_scale={BENCH_SCALE}",
+        f"  GPU 60s window covariance (challenge setting): {acc_gpu:.2%}",
+        f"  + fused CPU summaries ({len(cpu_feature_names())} features):"
+        f"   {acc_fused:.2%}",
+        f"  full-trace covariance (start-to-finish):       {acc_full:.2%}",
+        "",
+        "  (paper future work: 'training models on the entire dataset of "
+        "workloads from start-to-finish')",
+    ]
+    record_result("E9_E10_fusion_fulltrace", "\n".join(report))
+
+    # All three clear chance decisively.
+    assert min(acc_gpu, acc_fused, acc_full) > 0.2
+    # Fusion must not hurt: job-level CPU statistics add (weak) signal.
+    assert acc_fused >= acc_gpu - 0.05
+    # Full traces see every phase of the job, so they should do at least
+    # as well as a random snapshot.
+    assert acc_full >= acc_gpu - 0.05

@@ -1,0 +1,94 @@
+"""E5 + A3 — Section IV-B: XGBoost on covariance features.
+
+Regenerates the in-text results: test accuracy on 60-random-1 after 40
+boosting rounds under a γ/α/λ grid (paper: 88.47 %), the round-by-round
+plateau / train-set overfit, and the gain-ranked covariance feature
+importances whose paper top-3 are
+
+    1. cov(GPU % utilization, GPU-memory % utilization)
+    2. var(GPU % utilization)
+    3. var(power draw)
+
+(The paper's wording "GPU % Utilization and CPU % Utilization" refers to
+the two utilization channels of Table III — the GPU datasets contain no
+CPU sensor.)
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.core.baselines import run_xgboost_baseline
+
+PAPER_ACCURACY = 0.8847
+PAPER_ROUNDS = 40
+PAPER_TOP3 = (
+    "cov(utilization_gpu_pct, utilization_memory_pct)",
+    "var(utilization_gpu_pct)",
+    "var(power_draw_W)",
+)
+
+
+def test_xgboost_accuracy_plateau_importance(benchmark, record_result, challenge):
+    def run():
+        return run_xgboost_baseline(
+            challenge, "60-random-1",
+            cv=3,  # paper: 5-fold
+            grid={
+                "clf__gamma": [0.0, 0.5],
+                "clf__reg_alpha": [0.0, 0.1],
+                "clf__reg_lambda": [1.0, 5.0],
+            },
+            n_estimators=PAPER_ROUNDS,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    train_curve = result["train_curve"]
+    test_curve = result["test_curve"]
+    curve_lines = [
+        f"  round {r + 1:>3d}: train {train_curve[r]:.3f}  test {test_curve[r]:.3f}"
+        for r in (0, 4, 9, 19, 29, 39)
+    ]
+    importance_lines = [
+        f"  {rank + 1:>2d}. {value:6.3f}  {name}"
+        for rank, (name, value) in enumerate(result["feature_importance"][:8])
+    ]
+    report = [
+        f"E5 / Section IV-B — XGBoost + covariance on 60-random-1 "
+        f"(trials_scale={BENCH_SCALE})",
+        f"  test accuracy: {result['test_accuracy']:.2%} "
+        f"(paper: {PAPER_ACCURACY:.2%} at full scale)",
+        f"  best regularization: {result['best_params']}",
+        "",
+        "A3 — boosting-round learning curve (overfit/plateau):",
+        *curve_lines,
+        "",
+        "Feature importance (gain), top 8 "
+        f"(paper top-3: {', '.join(PAPER_TOP3)}):",
+        *importance_lines,
+    ]
+    record_result("E5_section4b_xgboost", "\n".join(report))
+
+    # --- Shape assertions -------------------------------------------------
+    # Far above 26-class chance; reduced scale sits below the paper level.
+    assert result["test_accuracy"] > 0.45
+    # Overfit: training accuracy far above test by the final round (paper:
+    # "the training set error is very close to zero" — with the winning
+    # regularization from the grid, ours caps slightly below 1).
+    assert train_curve[-1] > 0.9
+    assert train_curve[-1] > result["test_accuracy"] + 0.1
+    # Plateau: the last 10 rounds move test accuracy by little compared to
+    # the first 10 rounds' gains.
+    early_gain = test_curve[9] - test_curve[0]
+    late_gain = abs(test_curve[-1] - test_curve[-10])
+    assert late_gain < max(0.05, 0.5 * max(early_gain, 1e-9))
+    # Importance shape: utilization-related second-order features dominate.
+    top8 = [name for name, _ in result["feature_importance"][:8]]
+    assert any("utilization_gpu_pct" in n for n in top8)
+    assert any(n == "var(power_draw_W)" for n in top8) or any(
+        "power_draw_W" in n for n in top8
+    )
+    # Importances normalized and ranked.
+    values = np.array([v for _, v in result["feature_importance"]])
+    assert values.sum() > 0.99
+    assert np.all(np.diff(values) <= 1e-12)

@@ -1,0 +1,66 @@
+"""E1 — Table I and Tables VII–IX: labelled-dataset composition.
+
+Regenerates the architecture/job-count inventory from a simulated release
+and checks it against the paper's composition (scaled).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SCALE, bench_sim_config
+from repro.data.labelled import build_labelled_dataset
+from repro.data.stats import architecture_job_counts, family_totals, format_table
+from repro.simcluster.architectures import ARCHITECTURES
+
+PAPER_FAMILY_TOTALS = {
+    "VGG": 560, "ResNet": 463, "Inception": 484,
+    "U-Net": 1431, "NLP": 361, "GNN": 131,
+}
+
+
+def test_table1_family_totals(benchmark, record_result):
+    labelled = benchmark.pedantic(
+        lambda: build_labelled_dataset(bench_sim_config()),
+        rounds=1, iterations=1,
+    )
+    totals = family_totals(labelled)
+    counts = architecture_job_counts(labelled)
+
+    rows = [
+        {"family": fam, "jobs(ours)": totals[fam],
+         "jobs(paper)": PAPER_FAMILY_TOTALS[fam],
+         "expected(scaled)": round(PAPER_FAMILY_TOTALS[fam] * BENCH_SCALE)}
+        for fam in PAPER_FAMILY_TOTALS
+    ]
+    report = [
+        f"E1 / Table I — architecture family totals "
+        f"(trials_scale={BENCH_SCALE})",
+        format_table(rows),
+        "",
+        "Per-class inventory (Tables VII-IX analogue):",
+        format_table([
+            {"class": name, "jobs": e["jobs"], "trials": e["trials"],
+             "paper_jobs": e["paper_jobs"]}
+            for name, e in counts.items()
+        ]),
+        f"",
+        f"total jobs: {labelled.n_jobs()}  "
+        f"total labelled GPU series (trials): {len(labelled)}",
+    ]
+    record_result("E1_table1_architectures", "\n".join(report))
+
+    # Shape checks: 26 classes present; composition proportional to the
+    # paper's (within the min-jobs floor); trials >= jobs (multi-GPU).
+    assert len(counts) == 26
+    assert all(e["jobs"] > 0 for e in counts.values())
+    assert len(labelled) >= labelled.n_jobs()
+    # U-Net is the largest family in the paper; it must dominate here too
+    # at any scale where the floor isn't binding.
+    assert totals["U-Net"] == max(totals.values())
+    # Proportionality: per-class jobs track paper counts.
+    ours = np.array([counts[a.name]["jobs"] for a in ARCHITECTURES],
+                    dtype=float)
+    paper = np.array([a.paper_job_count for a in ARCHITECTURES], dtype=float)
+    corr = np.corrcoef(ours, paper)[0, 1]
+    # The min-jobs-per-class floor intentionally flattens rare classes at
+    # small scales, so demand strong but not perfect proportionality.
+    assert corr > 0.9

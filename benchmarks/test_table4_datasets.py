@@ -1,0 +1,66 @@
+"""E3 — Table IV: the seven challenge datasets.
+
+Regenerates all seven 60-second datasets and reports the Table IV layout
+(training trials, testing trials, samples, sensors); checks the 80/20
+split, the 540 × 7 window geometry, and that the suite round-trips through
+the npz release format.
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.data.challenge import CHALLENGE_DATASET_NAMES, load_challenge_suite
+from repro.data.stats import challenge_suite_table, format_table
+
+#: Table IV as printed in the paper (full scale).
+PAPER_TABLE4 = {
+    "60-start-1": (14590, 3648),
+    "60-middle-1": (14213, 3554),
+    "60-random-1": (14184, 3546),
+    "60-random-2": (14183, 3546),
+    "60-random-3": (14175, 3544),
+    "60-random-4": (14193, 3549),
+    "60-random-5": (14193, 3549),
+}
+
+
+def test_table4_seven_datasets(benchmark, record_result, challenge, tmp_path):
+    rows = challenge_suite_table(challenge.datasets)
+    for row, name in zip(rows, CHALLENGE_DATASET_NAMES):
+        row["paper_train"] = PAPER_TABLE4[name][0]
+        row["paper_test"] = PAPER_TABLE4[name][1]
+
+    def save_and_reload():
+        challenge.save(tmp_path)
+        return load_challenge_suite(tmp_path)
+
+    reloaded = benchmark.pedantic(save_and_reload, rounds=1, iterations=1)
+
+    total_mb = sum(p.stat().st_size for p in Path(tmp_path).glob("*.npz")) / 1e6
+    report = [
+        f"E3 / Table IV — challenge datasets (trials_scale={BENCH_SCALE}; "
+        "paper columns at full scale for comparison)",
+        format_table(rows),
+        "",
+        f"npz release size at this scale: {total_mb:.1f} MB "
+        "(full release: ~2 GB labelled subset)",
+    ]
+    record_result("E3_table4_datasets", "\n".join(report))
+
+    assert set(challenge.dataset_names()) == set(CHALLENGE_DATASET_NAMES)
+    for name, ds in challenge.datasets.items():
+        # Window geometry of the release: 540 samples x 7 sensors.
+        assert ds.n_samples == 540 and ds.n_sensors == 7
+        # 80/20 split within tolerance (job-level stratification rounds).
+        frac = ds.n_test / (ds.n_train + ds.n_test)
+        assert 0.12 < frac < 0.30, (name, frac)
+        # All 26 classes present in training.
+        assert len(np.unique(ds.y_train)) == 26
+        # Round trip preserved content.
+        np.testing.assert_array_equal(reloaded[name].y_test, ds.y_test)
+    # All seven share one split (the paper splits once, then windows).
+    y0 = challenge.dataset("60-start-1").y_train
+    for name in CHALLENGE_DATASET_NAMES[1:]:
+        np.testing.assert_array_equal(challenge.dataset(name).y_train, y0)

@@ -1,0 +1,109 @@
+"""E6 — Table VI: RNN baselines on the start / middle / random-1 datasets.
+
+Trains the six Section V models — BiLSTM (h=128, 1- and 2-layer) and the
+four CNN-LSTM variants (h=128/256/512 and h=512 small-kernel) — with the
+paper's training recipe (per-sensor standardization only, cyclical cosine
+LR, dropout 0.5, early stopping, best-validation-accuracy reporting).
+
+CPU budget adaptations (recorded in EXPERIMENTS.md): windows are
+subsampled 2× in time (540 → 270 steps), epochs are capped, and the
+"hidden size" axis is kept at the paper's values so the overfitting
+collapse of the h=512 variants can be observed.
+"""
+
+import os
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.core.baselines import run_rnn_baseline
+from repro.data.stats import format_table
+
+#: Table VI, paper values (%): start, middle, random.
+PAPER_TABLE6 = {
+    "LSTM (h=128)": (82.57, 92.09, 90.81),
+    "LSTM (h=128, 2-layer)": (80.51, 91.90, 90.52),
+    "CNN-LSTM (h=128)": (82.65, 89.90, 90.55),
+    "CNN-LSTM (h=256)": (67.60, 89.36, 88.61),
+    "CNN-LSTM (h=512)": (64.45, 65.67, 73.80),
+    "CNN-LSTM (h=512, small kernel)": (66.26, 71.47, 75.21),
+}
+
+DATASETS = ("60-start-1", "60-middle-1", "60-random-1")
+
+TIME_STRIDE = int(os.environ.get("REPRO_BENCH_RNN_STRIDE", "2"))
+MAX_EPOCHS = int(os.environ.get("REPRO_BENCH_RNN_EPOCHS", "12"))
+
+VARIANTS = (
+    ("LSTM (h=128)", dict(variant="lstm", hidden_size=128, n_layers=1)),
+    ("LSTM (h=128, 2-layer)", dict(variant="lstm", hidden_size=128, n_layers=2)),
+    ("CNN-LSTM (h=128)", dict(variant="cnn_lstm", hidden_size=128,
+                              kernel_size=7, stride=2)),
+    ("CNN-LSTM (h=256)", dict(variant="cnn_lstm", hidden_size=256,
+                              kernel_size=7, stride=2)),
+    ("CNN-LSTM (h=512)", dict(variant="cnn_lstm", hidden_size=512,
+                              kernel_size=7, stride=2)),
+    ("CNN-LSTM (h=512, small kernel)", dict(variant="cnn_lstm", hidden_size=512,
+                                            kernel_size=3, stride=1)),
+)
+
+
+@pytest.fixture(scope="module")
+def table6(challenge_smr):
+    results: dict[str, dict[str, dict]] = {}
+    for label, kwargs in VARIANTS:
+        results[label] = {}
+        for name in DATASETS:
+            results[label][name] = run_rnn_baseline(
+                challenge_smr, dataset_name=name,
+                max_epochs=MAX_EPOCHS, patience=max(4, MAX_EPOCHS // 2),
+                batch_size=32, time_stride=TIME_STRIDE, seed=0,
+                **kwargs,
+            )
+    return results
+
+
+def test_table6_rnn_accuracy(benchmark, record_result, challenge_smr, table6):
+    benchmark.pedantic(
+        lambda: run_rnn_baseline(
+            challenge_smr, "lstm", "60-middle-1", hidden_size=32,
+            max_epochs=1, patience=1, time_stride=4,
+        ),
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    for label, _ in VARIANTS:
+        row = {"Model": label}
+        for name, col in zip(DATASETS, ("Start", "Middle", "Random")):
+            row[col] = f"{100 * table6[label][name]['test_accuracy']:.2f}"
+        row["epochs"] = table6[label][DATASETS[0]]["epochs_run"]
+        row["fit (s)"] = f"{sum(table6[label][n]['fit_seconds'] for n in DATASETS):.0f}"
+        rows.append(row)
+        paper = PAPER_TABLE6[label]
+        rows.append({"Model": "  paper:", "Start": f"{paper[0]:.2f}",
+                     "Middle": f"{paper[1]:.2f}", "Random": f"{paper[2]:.2f}"})
+
+    report = [
+        f"E6 / Table VI — RNN test accuracy (%) at trials_scale={BENCH_SCALE}, "
+        f"time_stride={TIME_STRIDE}, max_epochs={MAX_EPOCHS} "
+        "(paper: full scale, up to 1000 epochs on V100s)",
+        format_table(rows),
+    ]
+    record_result("E6_table6_rnn", "\n".join(report))
+
+    # --- Shape assertions -------------------------------------------------
+    acc = {label: {n: r["test_accuracy"] for n, r in per.items()}
+           for label, per in table6.items()}
+    # Start is the hardest dataset for the small (well-fitting) models.
+    for label in ("LSTM (h=128)", "LSTM (h=128, 2-layer)", "CNN-LSTM (h=128)"):
+        assert acc[label]["60-start-1"] <= acc[label]["60-middle-1"] + 0.02, label
+    # All models clear 26-class chance by a wide margin somewhere.
+    for label in acc:
+        assert max(acc[label].values()) > 0.25, label
+    # Table VI's h=512 rows collapse from *overfitting* after long
+    # training; under this bench's epoch cap the collapse cannot fully
+    # develop (recorded as a deviation in EXPERIMENTS.md).  What must still
+    # hold: quadrupling capacity buys no decisive gain over h=128.
+    mean = lambda label: sum(acc[label].values()) / len(DATASETS)
+    assert mean("CNN-LSTM (h=512)") < mean("CNN-LSTM (h=128)") + 0.08

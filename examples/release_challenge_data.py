@@ -1,0 +1,70 @@
+"""Generate and persist a challenge release in the official npz layout.
+
+Produces the seven Table IV datasets as ``<name>.npz`` archives, each with
+``X_train, y_train, model_train, X_test, y_test, model_test`` — the exact
+file layout of the dcc.mit.edu release — plus the scheduler-log summary::
+
+    python examples/release_challenge_data.py [output_dir]
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro import SimulationConfig
+from repro.data import (
+    build_challenge_suite,
+    challenge_suite_table,
+    family_totals,
+    save_challenge_suite,
+)
+from repro.data.labelled import trials_from_jobs
+from repro.data.stats import architecture_job_counts, format_table
+from repro.simcluster import ClusterSimulator
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("challenge_release")
+
+    config = SimulationConfig(seed=2022, trials_scale=0.04, min_jobs_per_class=4)
+    simulator = ClusterSimulator(config)
+    jobs, log = simulator.generate()
+    labelled = trials_from_jobs(jobs)
+
+    print(f"simulated {len(jobs)} jobs -> {log.total_gpu_series()} labelled "
+          f"GPU series (multi-GPU jobs repeat the label, as in the release)\n")
+
+    print("Job counts per family (Table I analogue):")
+    for family, count in family_totals(labelled).items():
+        print(f"  {family:<10s} {count}")
+
+    counts = architecture_job_counts(labelled)
+    rows = [
+        {"class": name, "jobs": e["jobs"], "trials": e["trials"],
+         "paper_jobs": e["paper_jobs"]}
+        for name, e in counts.items()
+    ]
+    print("\nPer-class inventory (Tables VII-IX analogue):")
+    print(format_table(rows))
+
+    suite = build_challenge_suite(labelled, seed=0)
+    print("\nChallenge datasets (Table IV analogue):")
+    print(format_table(challenge_suite_table(suite)))
+
+    paths = save_challenge_suite(suite, out_dir)
+    total_mb = sum(p.stat().st_size for p in paths) / 1e6
+    print(f"\nwrote {len(paths)} npz archives ({total_mb:.1f} MB) to {out_dir}/")
+
+    # Verify the release loads back in the official layout.
+    with np.load(paths[0]) as archive:
+        assert set(archive.files) == {
+            "X_train", "y_train", "model_train",
+            "X_test", "y_test", "model_test",
+        }
+        print(f"verified layout of {paths[0].name}: "
+              f"X_train {archive['X_train'].shape}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""repro — reproduction of "The MIT Supercloud Workload Classification
+Challenge" (IPPS 2022).
+
+Quickstart::
+
+    from repro import WorkloadClassificationChallenge, SimulationConfig
+    from repro.models import make_rf_cov
+
+    challenge = WorkloadClassificationChallenge.from_simulation(
+        SimulationConfig(seed=2022, trials_scale=0.05))
+    result = challenge.evaluate(make_rf_cov(n_estimators=100), "60-middle-1")
+    print(f"RF+Cov test accuracy: {result['accuracy']:.2%}")
+
+Subpackages
+-----------
+``repro.simcluster``
+    TX-Gaia-like telemetry simulator (the labelled-dataset substitute).
+``repro.data``
+    Labelled dataset → the seven 60-second challenge datasets.
+``repro.ml``
+    From-scratch classical ML: SVC/SMO, random forest, Newton boosting,
+    PCA, covariance features, grid-search CV, metrics.
+``repro.nn``
+    NumPy autograd, LSTM/Conv1d layers, optimizers, trainer.
+``repro.models``
+    The paper's baseline configurations (Sections IV & V).
+``repro.core``
+    Challenge protocol, evaluation, leaderboard, baseline harnesses.
+``repro.parallel``
+    Process-pool map and shared-memory arrays.
+"""
+
+from repro.core.challenge import WorkloadClassificationChallenge
+from repro.simcluster.cluster import SimulationConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["WorkloadClassificationChallenge", "SimulationConfig", "__version__"]

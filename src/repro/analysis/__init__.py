@@ -1,0 +1,27 @@
+"""Operational analyses the paper motivates.
+
+Section IV-B suggests: "one could inspect the relative efficiency of the
+GPU in converting power to utilization for different job types by the
+corresponding magnitudes of measurements from the utilization GPU and
+power draw sensors, and contrast across different job types.  This would
+give further insight on job efficiency on a more granular level."
+
+:mod:`repro.analysis.efficiency` implements exactly that analysis;
+:mod:`repro.analysis.confusion` breaks classification errors down by
+architecture family (where the hard confusions live).
+"""
+
+from repro.analysis.efficiency import EfficiencyReport, job_type_efficiency
+from repro.analysis.confusion import (
+    family_confusion,
+    hardest_pairs,
+    within_family_error_fraction,
+)
+
+__all__ = [
+    "job_type_efficiency",
+    "EfficiencyReport",
+    "family_confusion",
+    "hardest_pairs",
+    "within_family_error_fraction",
+]

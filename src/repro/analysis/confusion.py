@@ -1,0 +1,75 @@
+"""Confusion structure analysis: where do classifiers actually fail?
+
+The 26 classes group into 6 families (Table I); most residual error in the
+baselines is *within-family* (e.g. adjacent U-Net widths).  These helpers
+quantify that: a family-level confusion matrix and the hardest class
+pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.metrics import confusion_matrix
+from repro.simcluster.architectures import ARCHITECTURES, architecture_names
+
+__all__ = ["family_confusion", "hardest_pairs", "within_family_error_fraction"]
+
+_FAMILIES = ["VGG", "ResNet", "Inception", "U-Net", "NLP", "GNN"]
+_FAMILY_OF = np.array(
+    [_FAMILIES.index(a.family.value) for a in ARCHITECTURES], dtype=np.int64
+)
+
+
+def family_confusion(y_true, y_pred) -> tuple[np.ndarray, list[str]]:
+    """Collapse a 26-class confusion into the 6 Table I families.
+
+    Returns ``(C, family_names)`` with ``C[i, j]`` the count of items whose
+    true family is ``i`` predicted into family ``j``.
+    """
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.max() >= len(_FAMILY_OF) or y_pred.max() >= len(_FAMILY_OF):
+        raise ValueError("labels exceed the 26 known classes")
+    return (
+        confusion_matrix(_FAMILY_OF[y_true], _FAMILY_OF[y_pred],
+                         n_classes=len(_FAMILIES)),
+        list(_FAMILIES),
+    )
+
+
+def within_family_error_fraction(y_true, y_pred) -> float:
+    """Fraction of *errors* that stay inside the true class's family.
+
+    High values mean the classifier solves the family problem and stumbles
+    only on sibling variants — the expected failure mode on this dataset.
+    Returns NaN when there are no errors.
+    """
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    wrong = y_true != y_pred
+    if not wrong.any():
+        return float("nan")
+    same_family = _FAMILY_OF[y_true[wrong]] == _FAMILY_OF[y_pred[wrong]]
+    return float(same_family.mean())
+
+
+def hardest_pairs(y_true, y_pred, top: int = 5) -> list[dict]:
+    """Most-confused (true, predicted) class pairs, descending by count."""
+    names = architecture_names()
+    C = confusion_matrix(y_true, y_pred, n_classes=len(names))
+    off = C.copy()
+    np.fill_diagonal(off, 0)
+    flat = np.argsort(off, axis=None)[::-1][:top]
+    pairs = []
+    for idx in flat:
+        i, j = np.unravel_index(idx, off.shape)
+        if off[i, j] == 0:
+            break
+        pairs.append({
+            "true": names[i],
+            "predicted": names[j],
+            "count": int(off[i, j]),
+            "same_family": bool(_FAMILY_OF[i] == _FAMILY_OF[j]),
+        })
+    return pairs

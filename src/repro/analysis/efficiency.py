@@ -1,0 +1,101 @@
+"""Per-job-type GPU power efficiency (Section IV-B's suggested analysis).
+
+For each architecture class, relate sustained GPU utilization to power
+draw: ``efficiency = mean utilization (%) / mean power (W)`` over the
+active portion of each trial, aggregated per class.  Classes that convert
+watts into utilization poorly are flagged — the operational insight the
+paper proposes datacenter operators could act on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.dataset import LabelledDataset
+from repro.simcluster.architectures import architecture_names
+from repro.simcluster.sensors import gpu_sensor_index
+
+__all__ = ["EfficiencyReport", "job_type_efficiency"]
+
+_UTIL = gpu_sensor_index("utilization_gpu_pct")
+_POWER = gpu_sensor_index("power_draw_W")
+
+
+@dataclass(frozen=True)
+class EfficiencyReport:
+    """Per-class power-efficiency summary."""
+
+    class_name: str
+    n_trials: int
+    mean_util_pct: float
+    mean_power_w: float
+    util_per_watt: float      # the paper's efficiency proxy
+    energy_kj_per_trial: float
+
+    def row(self) -> dict:
+        """This report as a printable dict row."""
+        return {
+            "class": self.class_name,
+            "trials": self.n_trials,
+            "util %": f"{self.mean_util_pct:.1f}",
+            "power W": f"{self.mean_power_w:.1f}",
+            "util/W": f"{self.util_per_watt:.3f}",
+            "kJ/trial": f"{self.energy_kj_per_trial:.0f}",
+        }
+
+
+def job_type_efficiency(
+    dataset: LabelledDataset,
+    *,
+    active_util_threshold: float = 10.0,
+    dt_s: float = 60.0 / 540.0,
+) -> list[EfficiencyReport]:
+    """Compute the per-class efficiency table.
+
+    Parameters
+    ----------
+    dataset:
+        Labelled trials (full series, not windows — the analysis wants the
+        whole job including its idle phases for the energy column, but the
+        efficiency ratio uses only *active* samples).
+    active_util_threshold:
+        Samples below this utilization (startup, checkpoints) are excluded
+        from the efficiency ratio so it reflects compute behaviour, not
+        duty cycle.
+    dt_s:
+        Sampling interval, for the energy integral.
+
+    Returns
+    -------
+    Reports sorted by ``util_per_watt`` descending (most efficient first).
+    """
+    if len(dataset) == 0:
+        raise ValueError("empty labelled dataset")
+    names = architecture_names()
+    sums: dict[int, list] = {}
+    for trial in dataset:
+        util = trial.series[:, _UTIL]
+        power = trial.series[:, _POWER]
+        active = util >= active_util_threshold
+        if not active.any():
+            continue
+        entry = sums.setdefault(trial.label, [0, 0.0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += float(util[active].mean())
+        entry[2] += float(power[active].mean())
+        entry[3] += float(power.sum() * dt_s) / 1e3  # kJ over the series
+
+    reports = []
+    for label, (n, util_sum, power_sum, energy_sum) in sums.items():
+        mean_util = util_sum / n
+        mean_power = power_sum / n
+        reports.append(EfficiencyReport(
+            class_name=names[label],
+            n_trials=n,
+            mean_util_pct=mean_util,
+            mean_power_w=mean_power,
+            util_per_watt=mean_util / max(mean_power, 1e-9),
+            energy_kj_per_trial=energy_sum / n,
+        ))
+    reports.sort(key=lambda r: r.util_per_watt, reverse=True)
+    return reports

@@ -1,0 +1,31 @@
+"""The Workload Classification Challenge itself (paper Section III).
+
+:class:`WorkloadClassificationChallenge` bundles the seven datasets, the
+evaluation protocol (test accuracy on held-out trials), a submission
+scorer with a leaderboard, and harnesses that run the paper's baseline
+models end-to-end.
+"""
+
+from repro.core.challenge import WorkloadClassificationChallenge
+from repro.core.evaluation import Submission, evaluate_predictions, evaluate_model
+from repro.core.leaderboard import Leaderboard, LeaderboardEntry
+from repro.core.baselines import (
+    run_rnn_baseline,
+    run_traditional_baseline,
+    run_xgboost_baseline,
+)
+from repro.core.streaming import OnlineWorkloadClassifier, StreamPrediction
+
+__all__ = [
+    "WorkloadClassificationChallenge",
+    "Submission",
+    "evaluate_predictions",
+    "evaluate_model",
+    "Leaderboard",
+    "LeaderboardEntry",
+    "run_traditional_baseline",
+    "run_xgboost_baseline",
+    "run_rnn_baseline",
+    "OnlineWorkloadClassifier",
+    "StreamPrediction",
+]

@@ -1,0 +1,103 @@
+"""Top-level challenge object.
+
+``WorkloadClassificationChallenge.from_simulation()`` is the one-call
+entry point: simulate the labelled release, window it into the seven
+datasets, and stand up the evaluation machinery — the synthetic analogue
+of downloading the challenge data from https://dcc.mit.edu.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.evaluation import Submission, evaluate_model
+from repro.core.leaderboard import Leaderboard, LeaderboardEntry
+from repro.data.challenge import (
+    CHALLENGE_DATASET_NAMES,
+    WINDOW_SAMPLES,
+    build_challenge_suite,
+    load_challenge_suite,
+    save_challenge_suite,
+)
+from repro.data.dataset import ChallengeDataset
+from repro.data.labelled import build_labelled_dataset
+from repro.simcluster.architectures import architecture_names
+from repro.simcluster.cluster import SimulationConfig
+
+__all__ = ["WorkloadClassificationChallenge"]
+
+
+class WorkloadClassificationChallenge:
+    """The MIT Supercloud WCC, reconstructed on synthetic telemetry."""
+
+    def __init__(self, datasets: dict[str, ChallengeDataset]):
+        if not datasets:
+            raise ValueError("challenge needs at least one dataset")
+        self.datasets = datasets
+        self.leaderboard = Leaderboard(datasets)
+        self.class_names = architecture_names()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_simulation(
+        cls,
+        sim_config: SimulationConfig | None = None,
+        *,
+        window: int = WINDOW_SAMPLES,
+        test_fraction: float = 0.2,
+        split_seed: int = 0,
+        names: tuple[str, ...] = CHALLENGE_DATASET_NAMES,
+    ) -> "WorkloadClassificationChallenge":
+        """Simulate a labelled release and window it into challenge datasets."""
+        labelled = build_labelled_dataset(sim_config)
+        suite = build_challenge_suite(
+            labelled, window=window, test_fraction=test_fraction,
+            seed=split_seed, names=names,
+        )
+        return cls(suite)
+
+    @classmethod
+    def from_directory(cls, directory: str | Path,
+                       names: tuple[str, ...] = CHALLENGE_DATASET_NAMES
+                       ) -> "WorkloadClassificationChallenge":
+        """Load a previously saved release (npz files)."""
+        return cls(load_challenge_suite(directory, names))
+
+    def save(self, directory: str | Path) -> list[Path]:
+        """Persist all datasets as npz archives in a directory."""
+        return save_challenge_suite(self.datasets, directory)
+
+    # ------------------------------------------------------------------
+    # Access & evaluation
+    # ------------------------------------------------------------------
+    def dataset(self, name: str) -> ChallengeDataset:
+        """Look up one challenge dataset by name."""
+        try:
+            return self.datasets[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown dataset {name!r}; available: {sorted(self.datasets)}"
+            ) from None
+
+    def dataset_names(self) -> list[str]:
+        """Names of the datasets in this challenge instance."""
+        return list(self.datasets)
+
+    def evaluate(self, model, dataset_name: str) -> dict:
+        """Fit + test-score a model on one dataset (challenge protocol)."""
+        return evaluate_model(model, self.dataset(dataset_name))
+
+    def submit(self, entrant: str, dataset_name: str, predictions) -> LeaderboardEntry:
+        """Score a prediction vector and record it on the leaderboard."""
+        return self.leaderboard.submit(
+            Submission(entrant=entrant, dataset_name=dataset_name,
+                       predictions=predictions)
+        )
+
+    def summary(self) -> str:
+        """Table IV analogue for this instance's datasets."""
+        from repro.data.stats import challenge_suite_table, format_table
+
+        return format_table(challenge_suite_table(self.datasets))

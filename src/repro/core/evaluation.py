@@ -1,0 +1,67 @@
+"""Submission scoring.
+
+"MIT Supercloud WCC submissions will be evaluated on classification
+accuracy" (Section III-B).  A :class:`Submission` is just named predictions
+for one dataset's test split; scoring validates shape and computes test
+accuracy plus diagnostic per-class metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.dataset import ChallengeDataset
+from repro.ml.metrics import accuracy_score, confusion_matrix, f1_score
+
+__all__ = ["Submission", "evaluate_predictions", "evaluate_model"]
+
+
+@dataclass
+class Submission:
+    """One challenge entry: predictions on a named dataset's test split."""
+
+    entrant: str
+    dataset_name: str
+    predictions: np.ndarray
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.predictions = np.asarray(self.predictions, dtype=np.int64)
+        if self.predictions.ndim != 1:
+            raise ValueError(
+                f"predictions must be 1-D, got shape {self.predictions.shape}"
+            )
+        if not self.entrant:
+            raise ValueError("entrant name must be non-empty")
+
+
+def evaluate_predictions(
+    dataset: ChallengeDataset, predictions: np.ndarray
+) -> dict:
+    """Score predictions against a dataset's test labels.
+
+    Returns accuracy (the challenge metric), macro-F1 and the confusion
+    matrix for diagnostics.
+    """
+    predictions = np.asarray(predictions, dtype=np.int64)
+    if predictions.shape[0] != dataset.n_test:
+        raise ValueError(
+            f"{predictions.shape[0]} predictions for {dataset.n_test} test trials"
+        )
+    return {
+        "dataset": dataset.name,
+        "accuracy": accuracy_score(dataset.y_test, predictions),
+        "macro_f1": f1_score(dataset.y_test, predictions, average="macro"),
+        "confusion": confusion_matrix(
+            dataset.y_test, predictions, n_classes=dataset.n_classes
+        ),
+        "n_test": dataset.n_test,
+    }
+
+
+def evaluate_model(model, dataset: ChallengeDataset) -> dict:
+    """Fit a (pipeline) model on the train split and score the test split."""
+    model.fit(dataset.X_train, dataset.y_train)
+    return evaluate_predictions(dataset, model.predict(dataset.X_test))

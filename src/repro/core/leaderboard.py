@@ -1,0 +1,77 @@
+"""Challenge leaderboard: scored submissions ranked by accuracy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.evaluation import Submission, evaluate_predictions
+from repro.data.dataset import ChallengeDataset
+
+__all__ = ["LeaderboardEntry", "Leaderboard"]
+
+
+@dataclass(frozen=True)
+class LeaderboardEntry:
+    """One scored submission on the board."""
+
+    entrant: str
+    dataset_name: str
+    accuracy: float
+    macro_f1: float
+
+
+@dataclass
+class Leaderboard:
+    """Accepts submissions for a suite of datasets and ranks them.
+
+    The paper's baselines seed the board; challengers aim to exceed them
+    ("the goal is to achieve an accuracy exceeding those presented in
+    Sections IV and V").
+    """
+
+    datasets: dict[str, ChallengeDataset]
+    entries: list[LeaderboardEntry] = field(default_factory=list)
+
+    def submit(self, submission: Submission) -> LeaderboardEntry:
+        """Score a submission and add it to the board."""
+        if submission.dataset_name not in self.datasets:
+            raise KeyError(
+                f"unknown dataset {submission.dataset_name!r}; available: "
+                f"{sorted(self.datasets)}"
+            )
+        dataset = self.datasets[submission.dataset_name]
+        result = evaluate_predictions(dataset, submission.predictions)
+        entry = LeaderboardEntry(
+            entrant=submission.entrant,
+            dataset_name=submission.dataset_name,
+            accuracy=result["accuracy"],
+            macro_f1=result["macro_f1"],
+        )
+        self.entries.append(entry)
+        return entry
+
+    def ranking(self, dataset_name: str | None = None) -> list[LeaderboardEntry]:
+        """Entries sorted by accuracy (optionally for one dataset)."""
+        pool = [
+            e for e in self.entries
+            if dataset_name is None or e.dataset_name == dataset_name
+        ]
+        return sorted(pool, key=lambda e: e.accuracy, reverse=True)
+
+    def best(self, dataset_name: str) -> LeaderboardEntry | None:
+        """Highest-accuracy entry for the dataset, if any."""
+        ranked = self.ranking(dataset_name)
+        return ranked[0] if ranked else None
+
+    def format(self, dataset_name: str | None = None) -> str:
+        """Render the ranked board as an aligned text table."""
+        rows = self.ranking(dataset_name)
+        if not rows:
+            return "(no submissions)"
+        lines = [f"{'rank':<5} {'entrant':<28} {'dataset':<14} {'acc %':>7} {'mF1':>6}"]
+        for i, e in enumerate(rows, 1):
+            lines.append(
+                f"{i:<5} {e.entrant:<28} {e.dataset_name:<14} "
+                f"{100 * e.accuracy:>7.2f} {e.macro_f1:>6.3f}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Online classification of live workloads.
+
+The paper's deployment vision (Section VI): models that "classify snapshots
+of data from live workloads running in-progress".  This module wraps any
+fitted window classifier into a streaming consumer: telemetry samples
+arrive incrementally, a sliding 60-second buffer re-classifies on a
+configurable hop, and predictions are smoothed over time (majority vote
+with confidence), exactly how an operator-facing service would run.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.simcluster.sensors import N_GPU_SENSORS
+
+__all__ = ["StreamPrediction", "OnlineWorkloadClassifier"]
+
+
+@dataclass(frozen=True)
+class StreamPrediction:
+    """One emission of the online classifier."""
+
+    sample_index: int          # stream position at emission time
+    label: int                 # current window's predicted class
+    smoothed_label: int        # majority vote over the vote window
+    confidence: float          # fraction of recent votes agreeing
+
+
+@dataclass
+class OnlineWorkloadClassifier:
+    """Sliding-window streaming wrapper around a fitted window model.
+
+    Parameters
+    ----------
+    model:
+        Fitted estimator with ``predict`` on ``(n, window, sensors)``
+        tensors (any pipeline from :mod:`repro.models` qualifies).
+    window:
+        Samples per classification window (540 for the challenge models).
+    hop:
+        Re-classify every ``hop`` new samples once the buffer is full.
+    vote_window:
+        Number of recent window predictions pooled by the majority vote.
+    """
+
+    model: object
+    window: int = 540
+    hop: int = 90
+    vote_window: int = 5
+    _buffer: list[np.ndarray] = field(default_factory=list, repr=False)
+    _since_last: int = field(default=0, repr=False)
+    _votes: list[int] = field(default_factory=list, repr=False)
+    _n_seen: int = field(default=0, repr=False)
+
+    def __post_init__(self):
+        if self.window < 1 or self.hop < 1 or self.vote_window < 1:
+            raise ValueError("window, hop and vote_window must be >= 1")
+        if not hasattr(self.model, "predict"):
+            raise TypeError("model must expose predict()")
+
+    # ------------------------------------------------------------------
+    def push(self, samples: np.ndarray) -> list[StreamPrediction]:
+        """Feed new telemetry samples; returns any predictions emitted.
+
+        ``samples`` is ``(k, n_sensors)`` — one or more new rows of the
+        live series, in time order.
+        """
+        samples = np.atleast_2d(np.asarray(samples, dtype=np.float64))
+        if samples.shape[1] != N_GPU_SENSORS:
+            raise ValueError(
+                f"expected {N_GPU_SENSORS} sensors per sample, "
+                f"got {samples.shape[1]}"
+            )
+        out: list[StreamPrediction] = []
+        for row in samples:
+            self._buffer.append(row)
+            if len(self._buffer) > self.window:
+                self._buffer.pop(0)
+            self._n_seen += 1
+            self._since_last += 1
+            buffer_full = len(self._buffer) == self.window
+            if buffer_full and (
+                self._since_last >= self.hop or len(self._votes) == 0
+            ):
+                out.append(self._classify())
+                self._since_last = 0
+        return out
+
+    def _classify(self) -> StreamPrediction:
+        window = np.stack(self._buffer)[None, :, :]
+        label = int(np.asarray(self.model.predict(window))[0])
+        self._votes.append(label)
+        if len(self._votes) > self.vote_window:
+            self._votes.pop(0)
+        counts = Counter(self._votes)
+        smoothed, n_agree = counts.most_common(1)[0]
+        return StreamPrediction(
+            sample_index=self._n_seen,
+            label=label,
+            smoothed_label=int(smoothed),
+            confidence=n_agree / len(self._votes),
+        )
+
+    def reset(self) -> None:
+        """Clear buffered samples and votes (e.g. when a new job starts)."""
+        self._buffer.clear()
+        self._votes.clear()
+        self._since_last = 0
+        self._n_seen = 0
+
+    @property
+    def ready(self) -> bool:
+        """Whether a full window has been buffered."""
+        return len(self._buffer) == self.window

@@ -1,0 +1,55 @@
+"""Dataset pipeline: labelled series → the seven challenge datasets.
+
+Mirrors Section III-A of the paper: every GPU time series of every labelled
+job becomes one *trial*; trials at least ~one minute long are eligible; a
+60-second window (540 samples × 7 sensors) is cut from the start, middle,
+or a random offset of each trial; and each windowed dataset is split 80/20
+into train and test, stored npz-style as
+``X_train, y_train, model_train, X_test, y_test, model_test``.
+"""
+
+from repro.data.dataset import ChallengeDataset, LabelledDataset, LabelledTrial
+from repro.data.labelled import build_labelled_dataset
+from repro.data.windows import WindowMode, extract_window, window_offsets
+from repro.data.splits import train_test_split_by_group, stratified_split_indices
+from repro.data.challenge import (
+    CHALLENGE_DATASET_NAMES,
+    WINDOW_SAMPLES,
+    build_challenge_dataset,
+    build_challenge_suite,
+    load_challenge_suite,
+    save_challenge_suite,
+)
+from repro.data.stats import architecture_job_counts, challenge_suite_table, family_totals
+from repro.data.augment import jitter_augment, multi_window_resample, oversample_minority
+from repro.data.fulltrace import full_trace_covariance, full_trace_features
+from repro.data.fusion import build_fused_dataset, cpu_feature_names, cpu_summary_features
+
+__all__ = [
+    "LabelledTrial",
+    "LabelledDataset",
+    "ChallengeDataset",
+    "build_labelled_dataset",
+    "WindowMode",
+    "extract_window",
+    "window_offsets",
+    "train_test_split_by_group",
+    "stratified_split_indices",
+    "CHALLENGE_DATASET_NAMES",
+    "WINDOW_SAMPLES",
+    "build_challenge_dataset",
+    "build_challenge_suite",
+    "save_challenge_suite",
+    "load_challenge_suite",
+    "architecture_job_counts",
+    "challenge_suite_table",
+    "family_totals",
+    "multi_window_resample",
+    "jitter_augment",
+    "oversample_minority",
+    "full_trace_covariance",
+    "full_trace_features",
+    "build_fused_dataset",
+    "cpu_feature_names",
+    "cpu_summary_features",
+]

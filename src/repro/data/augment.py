@@ -1,0 +1,124 @@
+"""Resampling and augmentation (challenge Section III-C).
+
+"Given the number of samples in the labelled dataset, a neural network is
+likely to overfit.  Can this be dealt with using regularization or
+resampling techniques?"  This module implements the resampling side:
+
+* :func:`multi_window_resample` — draw several random 60-second windows
+  per training trial instead of one (the natural data multiplier for this
+  dataset, since each trial is much longer than a window);
+* :func:`jitter_augment` — sensor-noise and time-shift perturbations of
+  existing windows;
+* :func:`oversample_minority` — class rebalancing by replication (the GNN
+  classes have ~30 jobs vs U-Net's ~1400).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import LabelledDataset
+from repro.data.windows import WindowMode, extract_window, window_offsets
+from repro.utils.rng import as_generator
+
+__all__ = ["multi_window_resample", "jitter_augment", "oversample_minority"]
+
+
+def multi_window_resample(
+    dataset: LabelledDataset,
+    indices: np.ndarray,
+    *,
+    windows_per_trial: int = 3,
+    window: int = 540,
+    rng: np.random.Generator | int | None = None,
+    dtype=np.float32,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cut several independent random windows from each selected trial.
+
+    Returns ``(X, y)`` with ``X`` of shape
+    ``(len(indices) * windows_per_trial, window, sensors)``.  Windows from
+    one trial stay correlated, so keep trials of one job on one side of the
+    train/test split (as the pipeline already does) to avoid leakage.
+    """
+    if windows_per_trial < 1:
+        raise ValueError(f"windows_per_trial must be >= 1, got {windows_per_trial}")
+    rng = as_generator(rng)
+    indices = np.asarray(indices)
+    lengths = dataset.lengths()[indices]
+    labels = dataset.labels()[indices]
+    n_sensors = dataset.trials[0].series.shape[1]
+    X = np.empty((indices.size * windows_per_trial, window, n_sensors),
+                 dtype=dtype)
+    y = np.repeat(labels, windows_per_trial)
+    row = 0
+    for idx, length in zip(indices, lengths):
+        offsets = window_offsets(
+            np.full(windows_per_trial, length), window, WindowMode.RANDOM, rng
+        )
+        for off in offsets:
+            X[row] = extract_window(dataset.trials[int(idx)].series,
+                                    int(off), window)
+            row += 1
+    return X, y
+
+
+def jitter_augment(
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    copies: int = 1,
+    noise_std: float = 0.02,
+    max_shift: int = 20,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Append noisy, time-shifted copies of each window.
+
+    ``noise_std`` is relative to each sensor's per-batch std; shifts roll
+    the window circularly by up to ``max_shift`` samples (cheap surrogate
+    for re-cutting at a nearby offset).
+    """
+    if copies < 0:
+        raise ValueError(f"copies must be >= 0, got {copies}")
+    rng = as_generator(rng)
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if copies == 0:
+        return X, y
+    scale = X.std(axis=(0, 1), keepdims=True) * noise_std
+    parts_X = [X]
+    parts_y = [y]
+    for _ in range(copies):
+        noisy = X + rng.normal(0.0, 1.0, size=X.shape).astype(X.dtype) * scale
+        if max_shift > 0:
+            shifts = rng.integers(-max_shift, max_shift + 1, size=X.shape[0])
+            noisy = np.stack([
+                np.roll(win, int(s), axis=0) for win, s in zip(noisy, shifts)
+            ])
+        parts_X.append(noisy.astype(X.dtype))
+        parts_y.append(y)
+    return np.concatenate(parts_X), np.concatenate(parts_y)
+
+
+def oversample_minority(
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Replicate minority-class rows until all classes match the majority.
+
+    Returns shuffled arrays; replication is with replacement.
+    """
+    rng = as_generator(rng)
+    X = np.asarray(X)
+    y = np.asarray(y)
+    classes, counts = np.unique(y, return_counts=True)
+    target = counts.max()
+    keep = [np.arange(y.size)]
+    for cls, count in zip(classes, counts):
+        if count < target:
+            members = np.flatnonzero(y == cls)
+            keep.append(rng.choice(members, size=target - count, replace=True))
+    order = np.concatenate(keep)
+    rng.shuffle(order)
+    return X[order], y[order]

@@ -1,0 +1,153 @@
+"""Assembly of the seven Workload Classification Challenge datasets.
+
+``60-start-1`` and ``60-middle-1`` cut deterministic windows; the five
+``60-random-*`` datasets draw independent random offsets.  All seven share
+the *same* train/test partition of trials (the release splits once, then
+windows), so per-dataset accuracy differences in Table V reflect window
+position, not split luck.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.dataset import ChallengeDataset, LabelledDataset
+from repro.data.splits import train_test_split_by_group
+from repro.data.windows import WindowMode, extract_window, window_offsets
+from repro.utils.arrayio import load_npz_dataset, save_npz_dataset
+from repro.utils.rng import SeedSequenceFactory
+
+__all__ = [
+    "WINDOW_SAMPLES",
+    "CHALLENGE_DATASET_NAMES",
+    "build_challenge_dataset",
+    "build_challenge_suite",
+    "save_challenge_suite",
+    "load_challenge_suite",
+]
+
+#: Samples per 60-second window at the GPU telemetry rate (Table IV).
+WINDOW_SAMPLES = 540
+
+#: The seven released datasets, in Table IV order.
+CHALLENGE_DATASET_NAMES: tuple[str, ...] = (
+    "60-start-1",
+    "60-middle-1",
+    "60-random-1",
+    "60-random-2",
+    "60-random-3",
+    "60-random-4",
+    "60-random-5",
+)
+
+
+def _mode_for(name: str) -> WindowMode:
+    if name not in CHALLENGE_DATASET_NAMES:
+        raise ValueError(
+            f"unknown challenge dataset {name!r}; expected one of "
+            f"{CHALLENGE_DATASET_NAMES}"
+        )
+    return WindowMode.parse(name.split("-")[1])
+
+
+def _window_stack(
+    dataset: LabelledDataset,
+    indices: np.ndarray,
+    mode: WindowMode,
+    window: int,
+    rng: np.random.Generator | None,
+    dtype,
+) -> np.ndarray:
+    """Cut one window per selected trial and stack to (n, window, sensors)."""
+    lengths = dataset.lengths()[indices]
+    offsets = window_offsets(lengths, window, mode, rng)
+    n_sensors = dataset.trials[0].series.shape[1]
+    out = np.empty((indices.size, window, n_sensors), dtype=dtype)
+    for row, (idx, off) in enumerate(zip(indices, offsets)):
+        out[row] = extract_window(dataset.trials[int(idx)].series, int(off), window)
+    return out
+
+
+def build_challenge_dataset(
+    dataset: LabelledDataset,
+    name: str,
+    *,
+    train_idx: np.ndarray,
+    test_idx: np.ndarray,
+    window: int = WINDOW_SAMPLES,
+    rng: np.random.Generator | None = None,
+    dtype=np.float32,
+) -> ChallengeDataset:
+    """Build one of the seven datasets from pre-split eligible trials."""
+    mode = _mode_for(name)
+    if mode is WindowMode.RANDOM and rng is None:
+        raise ValueError(f"dataset {name} needs an rng for random offsets")
+    labels = dataset.labels()
+    names = np.array([t.model_name for t in dataset.trials])
+    return ChallengeDataset(
+        name=name,
+        X_train=_window_stack(dataset, train_idx, mode, window, rng, dtype),
+        y_train=labels[train_idx],
+        model_train=names[train_idx],
+        X_test=_window_stack(dataset, test_idx, mode, window, rng, dtype),
+        y_test=labels[test_idx],
+        model_test=names[test_idx],
+    )
+
+
+def build_challenge_suite(
+    dataset: LabelledDataset,
+    *,
+    window: int = WINDOW_SAMPLES,
+    test_fraction: float = 0.2,
+    seed: int = 0,
+    names: tuple[str, ...] = CHALLENGE_DATASET_NAMES,
+    dtype=np.float32,
+) -> dict[str, ChallengeDataset]:
+    """Build all requested challenge datasets from a labelled release.
+
+    Trials shorter than ``window`` are dropped first (the "ran at least one
+    minute" rule); the 80/20 split is computed once at job granularity and
+    shared across all seven datasets.
+    """
+    eligible = dataset.eligible(window)
+    if len(eligible) == 0:
+        raise ValueError(f"no trials have >= {window} samples")
+    seeds = SeedSequenceFactory(seed)
+    train_idx, test_idx = train_test_split_by_group(
+        eligible.labels(), eligible.job_ids(), test_fraction,
+        seeds.stream("trial-split"),
+    )
+    suite: dict[str, ChallengeDataset] = {}
+    for name in names:
+        rng = seeds.stream(f"windows-{name}")
+        suite[name] = build_challenge_dataset(
+            eligible, name, train_idx=train_idx, test_idx=test_idx,
+            window=window, rng=rng, dtype=dtype,
+        )
+    return suite
+
+
+def save_challenge_suite(
+    suite: dict[str, ChallengeDataset], directory: str | Path
+) -> list[Path]:
+    """Persist a suite as one npz per dataset (release file layout)."""
+    directory = Path(directory)
+    paths = []
+    for name, ds in suite.items():
+        paths.append(save_npz_dataset(directory / f"{name}.npz", **ds.as_npz_dict()))
+    return paths
+
+
+def load_challenge_suite(
+    directory: str | Path, names: tuple[str, ...] = CHALLENGE_DATASET_NAMES
+) -> dict[str, ChallengeDataset]:
+    """Load a previously saved suite."""
+    directory = Path(directory)
+    suite = {}
+    for name in names:
+        arrays = load_npz_dataset(directory / f"{name}.npz")
+        suite[name] = ChallengeDataset(name=name, **arrays)
+    return suite

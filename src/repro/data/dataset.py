@@ -1,0 +1,175 @@
+"""Dataset containers.
+
+Two levels, matching the paper's pipeline:
+
+* :class:`LabelledDataset` — the *raw* labelled release: variable-length
+  GPU series (one per GPU of every job) with integer labels and job
+  provenance.  Lengths differ per trial (one of the challenge's stated
+  difficulties).
+* :class:`ChallengeDataset` — one of the seven fixed-window datasets:
+  dense ``(trials, 540, 7)`` train/test tensors plus label and model-name
+  vectors, exactly the npz layout of the release.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.simcluster.architectures import architecture_names
+from repro.simcluster.sensors import N_GPU_SENSORS
+from repro.utils.validation import check_consistent_length
+
+__all__ = ["LabelledTrial", "LabelledDataset", "ChallengeDataset"]
+
+
+@dataclass
+class LabelledTrial:
+    """One labelled GPU time series (a *trial* in the paper's terminology).
+
+    Multi-GPU jobs contribute several trials with the same ``job_id`` and
+    label — "the labelling is repeated for a single job with multiple nodes
+    and multiple GPUs".
+    """
+
+    series: np.ndarray          # (n_samples, 7) float array, variable length
+    label: int                  # class index in [0, 26)
+    model_name: str             # architecture name, e.g. "VGG16"
+    job_id: int                 # scheduler job id (grouping key for splits)
+    gpu_index: int = 0          # GPU within the job
+
+    def __post_init__(self):
+        self.series = np.asarray(self.series, dtype=np.float64)
+        if self.series.ndim != 2 or self.series.shape[1] != N_GPU_SENSORS:
+            raise ValueError(
+                f"trial series must be (n, {N_GPU_SENSORS}), got {self.series.shape}"
+            )
+        if self.label < 0:
+            raise ValueError(f"negative label {self.label}")
+
+    @property
+    def n_samples(self) -> int:
+        """Number of time samples in the series."""
+        return self.series.shape[0]
+
+
+@dataclass
+class LabelledDataset:
+    """The raw labelled release: variable-length trials."""
+
+    trials: list[LabelledTrial] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.trials)
+
+    def __iter__(self):
+        return iter(self.trials)
+
+    def labels(self) -> np.ndarray:
+        """Per-trial integer class labels."""
+        return np.array([t.label for t in self.trials], dtype=np.int64)
+
+    def job_ids(self) -> np.ndarray:
+        """Per-trial scheduler job ids (split grouping keys)."""
+        return np.array([t.job_id for t in self.trials], dtype=np.int64)
+
+    def lengths(self) -> np.ndarray:
+        """Per-trial series lengths in samples."""
+        return np.array([t.n_samples for t in self.trials], dtype=np.int64)
+
+    def n_jobs(self) -> int:
+        """Number of distinct jobs contributing trials."""
+        return len(set(t.job_id for t in self.trials))
+
+    def eligible(self, min_samples: int) -> "LabelledDataset":
+        """Trials long enough to cut a ``min_samples`` window from.
+
+        Mirrors the release rule: datasets were "sampled from all trials in
+        the labelled dataset that ran at least for (approximately) one
+        minute".
+        """
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+        return LabelledDataset([t for t in self.trials if t.n_samples >= min_samples])
+
+    def class_counts(self) -> dict[str, int]:
+        """Trial count per class name (ordered by class index)."""
+        names = architecture_names()
+        counts = np.bincount(self.labels(), minlength=len(names))
+        return {name: int(c) for name, c in zip(names, counts)}
+
+
+@dataclass
+class ChallengeDataset:
+    """One fixed-window challenge dataset in the release layout."""
+
+    name: str                   # e.g. "60-random-1"
+    X_train: np.ndarray         # (n_train, samples, sensors)
+    y_train: np.ndarray         # (n_train,)
+    model_train: np.ndarray     # (n_train,) unicode names
+    X_test: np.ndarray
+    y_test: np.ndarray
+    model_test: np.ndarray
+
+    def __post_init__(self):
+        self.X_train = np.asarray(self.X_train)
+        self.X_test = np.asarray(self.X_test)
+        self.y_train = np.asarray(self.y_train, dtype=np.int64)
+        self.y_test = np.asarray(self.y_test, dtype=np.int64)
+        self.model_train = np.asarray(self.model_train)
+        self.model_test = np.asarray(self.model_test)
+        if self.X_train.ndim != 3 or self.X_test.ndim != 3:
+            raise ValueError("X arrays must be 3-D (trials, samples, sensors)")
+        if self.X_train.shape[1:] != self.X_test.shape[1:]:
+            raise ValueError("train/test window shapes differ")
+        check_consistent_length(self.X_train, self.y_train, self.model_train,
+                                names=("X_train", "y_train", "model_train"))
+        check_consistent_length(self.X_test, self.y_test, self.model_test,
+                                names=("X_test", "y_test", "model_test"))
+
+    @property
+    def n_train(self) -> int:
+        """Number of training trials."""
+        return self.X_train.shape[0]
+
+    @property
+    def n_test(self) -> int:
+        """Number of test trials."""
+        return self.X_test.shape[0]
+
+    @property
+    def n_samples(self) -> int:
+        """Timesteps per window (540 in the release)."""
+        return self.X_train.shape[1]
+
+    @property
+    def n_sensors(self) -> int:
+        """Sensors per sample (7 for the GPU datasets)."""
+        return self.X_train.shape[2]
+
+    @property
+    def n_classes(self) -> int:
+        """Number of distinct class labels."""
+        return int(max(self.y_train.max(), self.y_test.max())) + 1
+
+    def summary_row(self) -> dict:
+        """Table IV row: training trials, testing trials, samples, sensors."""
+        return {
+            "dataset": self.name,
+            "training_trials": self.n_train,
+            "testing_trials": self.n_test,
+            "samples": self.n_samples,
+            "sensors": self.n_sensors,
+        }
+
+    def as_npz_dict(self) -> dict[str, np.ndarray]:
+        """The six release arrays keyed by npz name."""
+        return {
+            "X_train": self.X_train,
+            "y_train": self.y_train,
+            "model_train": self.model_train,
+            "X_test": self.X_test,
+            "y_test": self.y_test,
+            "model_test": self.model_test,
+        }

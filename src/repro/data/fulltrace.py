@@ -1,0 +1,69 @@
+"""Full-trace (start-to-finish) workload features.
+
+The paper closes with: "we are excited by the prospect of training models
+on the entire dataset of workloads from start-to-finish ... the ability for
+them to learn the structures and patterns of a full workload will help in
+classifying snapshots of data from live workloads".
+
+This module provides the covariance-feature analogue for *whole*
+variable-length series — the covariance trick is length-invariant, so the
+same R^28 representation extends from fixed 60-second windows to full
+traces without any alignment machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import LabelledDataset
+
+__all__ = ["full_trace_covariance", "full_trace_features"]
+
+
+def full_trace_covariance(
+    series: np.ndarray,
+    mean: np.ndarray,
+    scale: np.ndarray,
+) -> np.ndarray:
+    """Upper-triangle sensor covariance of one variable-length series.
+
+    ``mean`` / ``scale`` are the dataset-level per-sensor standardization
+    statistics (computed once over all trials, as the paper's
+    ``StandardScaler`` does) so features remain comparable across trials of
+    different lengths.
+    """
+    z = (np.asarray(series, dtype=np.float64) - mean) / scale
+    t, s = z.shape
+    gram = (z.T @ z) / t
+    iu = np.triu_indices(s)
+    return gram[iu]
+
+
+def full_trace_features(
+    dataset: LabelledDataset,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Covariance features over every trial's *entire* series.
+
+    Returns ``(X, y, job_ids)`` with ``X`` of shape ``(n_trials, 28)``.
+    Standardization statistics pool all samples of all trials (weighted by
+    length), mirroring the windowed pipeline's scaler semantics.
+    """
+    if len(dataset) == 0:
+        raise ValueError("empty labelled dataset")
+    n_sensors = dataset.trials[0].series.shape[1]
+    # Pooled mean/std over all samples of all trials, computed in one pass.
+    total = np.zeros(n_sensors)
+    total_sq = np.zeros(n_sensors)
+    count = 0
+    for trial in dataset:
+        total += trial.series.sum(axis=0)
+        total_sq += (trial.series.astype(np.float64) ** 2).sum(axis=0)
+        count += trial.n_samples
+    mean = total / count
+    var = np.maximum(total_sq / count - mean**2, 0.0)
+    scale = np.where(var > 0, np.sqrt(var), 1.0)
+
+    X = np.vstack([
+        full_trace_covariance(trial.series, mean, scale) for trial in dataset
+    ])
+    return X, dataset.labels(), dataset.job_ids()

@@ -1,0 +1,59 @@
+"""Dataset summary tables (paper Tables I, IV and VII–IX)."""
+
+from __future__ import annotations
+
+from repro.data.dataset import ChallengeDataset, LabelledDataset
+from repro.simcluster.architectures import ARCHITECTURES
+
+__all__ = ["architecture_job_counts", "family_totals", "challenge_suite_table",
+           "format_table"]
+
+
+def architecture_job_counts(dataset: LabelledDataset) -> dict[str, dict]:
+    """Per-class job and trial counts (Tables VII–IX analogue).
+
+    Jobs are distinct scheduler jobs; trials are GPU series (label repeated
+    per GPU, so trials >= jobs).
+    """
+    per_class: dict[str, dict] = {
+        spec.name: {"family": spec.family.value, "jobs": set(), "trials": 0,
+                    "paper_jobs": spec.paper_job_count}
+        for spec in ARCHITECTURES
+    }
+    for trial in dataset:
+        entry = per_class[trial.model_name]
+        entry["jobs"].add(trial.job_id)
+        entry["trials"] += 1
+    for entry in per_class.values():
+        entry["jobs"] = len(entry["jobs"])
+    return per_class
+
+
+def family_totals(dataset: LabelledDataset) -> dict[str, int]:
+    """Job totals per family (Table I analogue)."""
+    counts = architecture_job_counts(dataset)
+    totals: dict[str, int] = {}
+    for entry in counts.values():
+        totals[entry["family"]] = totals.get(entry["family"], 0) + entry["jobs"]
+    return totals
+
+
+def challenge_suite_table(suite: dict[str, ChallengeDataset]) -> list[dict]:
+    """Table IV analogue: one row per challenge dataset."""
+    return [ds.summary_row() for ds in suite.values()]
+
+
+def format_table(rows: list[dict], columns: list[str] | None = None) -> str:
+    """Render a list of dicts as an aligned text table (for bench output)."""
+    if not rows:
+        return "(empty)"
+    columns = columns or list(rows[0].keys())
+    widths = {
+        c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in rows)) for c in columns
+    }
+    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+    sep = "  ".join("-" * widths[c] for c in columns)
+    body = [
+        "  ".join(str(r.get(c, "")).ljust(widths[c]) for c in columns) for r in rows
+    ]
+    return "\n".join([header, sep, *body])

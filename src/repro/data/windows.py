@@ -1,0 +1,88 @@
+"""60-second window extraction.
+
+The seven challenge datasets differ only in *where* the window is cut from
+each trial: the first 540 samples (``START``), the centered 540 samples
+(``MIDDLE``), or 540 samples at a uniformly random offset (``RANDOM`` — five
+independent draws give the five random datasets).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+__all__ = ["WindowMode", "window_offsets", "extract_window"]
+
+
+class WindowMode(enum.Enum):
+    """Where the 60-second window is cut from a trial."""
+
+    START = "start"
+    MIDDLE = "middle"
+    RANDOM = "random"
+
+    @classmethod
+    def parse(cls, value: "WindowMode | str") -> "WindowMode":
+        """Coerce a string or enum member to a WindowMode."""
+        if isinstance(value, WindowMode):
+            return value
+        try:
+            return cls(value.lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown window mode {value!r}; expected one of "
+                f"{[m.value for m in cls]}"
+            ) from None
+
+
+def window_offsets(
+    lengths: np.ndarray,
+    window: int,
+    mode: WindowMode | str,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Vectorized start offsets for cutting a ``window``-sample slice.
+
+    Parameters
+    ----------
+    lengths:
+        Per-trial series lengths; every entry must be >= ``window``.
+    window:
+        Window length in samples (540 for the release datasets).
+    mode:
+        Where to cut.  ``RANDOM`` requires ``rng``.
+
+    Returns
+    -------
+    Integer offsets, one per trial, with ``offset + window <= length``.
+    """
+    mode = WindowMode.parse(mode)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if np.any(lengths < window):
+        bad = int(np.sum(lengths < window))
+        raise ValueError(
+            f"{bad} trial(s) shorter than window={window}; filter with "
+            "LabelledDataset.eligible first"
+        )
+    slack = lengths - window
+    if mode is WindowMode.START:
+        return np.zeros_like(lengths)
+    if mode is WindowMode.MIDDLE:
+        return slack // 2
+    if rng is None:
+        raise ValueError("RANDOM window mode requires an rng")
+    # rng.integers is exclusive on the high end; slack itself is valid.
+    return rng.integers(0, slack + 1)
+
+
+def extract_window(series: np.ndarray, offset: int, window: int) -> np.ndarray:
+    """Cut one window (returns a view — no copy, per the NumPy guide)."""
+    n = series.shape[0]
+    if offset < 0 or offset + window > n:
+        raise ValueError(
+            f"window [{offset}, {offset + window}) out of bounds for length {n}"
+        )
+    return series[offset : offset + window]

@@ -1,0 +1,26 @@
+"""From-scratch classical machine-learning stack.
+
+The offline environment has no scikit-learn or XGBoost, so this package
+implements — on NumPy only — every estimator and utility the paper's
+baselines need:
+
+* :mod:`repro.ml.preprocessing` — StandardScaler, PCA, the covariance
+  upper-triangle reducer, flattening, Pipeline.
+* :mod:`repro.ml.svm` — kernel SVC trained with SMO (one-vs-rest).
+* :mod:`repro.ml.tree` / :mod:`repro.ml.ensemble` — CART decision trees and
+  a bootstrap random forest.
+* :mod:`repro.ml.boosting` — second-order (Newton) gradient tree boosting
+  with γ/α/λ regularization and gain-based feature importance
+  (XGBoost-equivalent for the paper's Section IV-B).
+* :mod:`repro.ml.model_selection` — stratified k-fold, parameter grids,
+  grid-search cross-validation.
+* :mod:`repro.ml.metrics` — accuracy, confusion matrix, per-class report.
+
+The estimator API follows scikit-learn conventions (``fit`` / ``predict`` /
+``get_params`` / ``set_params`` / ``clone``) so the paper's experiment
+descriptions translate one-to-one.
+"""
+
+from repro.ml.base import BaseEstimator, ClassifierMixin, TransformerMixin, clone
+
+__all__ = ["BaseEstimator", "ClassifierMixin", "TransformerMixin", "clone"]

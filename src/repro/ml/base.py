@@ -1,0 +1,121 @@
+"""Estimator base classes and :func:`clone` (scikit-learn conventions).
+
+Hyperparameters are exactly the keyword arguments of ``__init__`` and are
+stored under the same attribute names; fitted state uses a trailing
+underscore (``coef_``) so :func:`clone` can produce an unfitted copy by
+re-invoking the constructor.
+"""
+
+from __future__ import annotations
+
+import copy
+import inspect
+from typing import Any
+
+import numpy as np
+
+__all__ = ["BaseEstimator", "ClassifierMixin", "TransformerMixin", "clone"]
+
+
+class BaseEstimator:
+    """Parameter introspection shared by every estimator in :mod:`repro.ml`."""
+
+    @classmethod
+    def _param_names(cls) -> list[str]:
+        init = cls.__init__
+        if init is object.__init__:
+            return []
+        sig = inspect.signature(init)
+        names = [
+            name
+            for name, p in sig.parameters.items()
+            if name != "self" and p.kind not in (p.VAR_POSITIONAL, p.VAR_KEYWORD)
+        ]
+        return sorted(names)
+
+    def get_params(self, deep: bool = True) -> dict[str, Any]:
+        """Return hyperparameters; with ``deep``, expand nested estimators
+        as ``<name>__<subparam>`` entries."""
+        params: dict[str, Any] = {}
+        for name in self._param_names():
+            value = getattr(self, name)
+            params[name] = value
+            if deep and isinstance(value, BaseEstimator):
+                for sub, sub_val in value.get_params(deep=True).items():
+                    params[f"{name}__{sub}"] = sub_val
+        return params
+
+    def set_params(self, **params) -> "BaseEstimator":
+        """Set hyperparameters, supporting ``nested__param`` syntax."""
+        valid = set(self._param_names())
+        nested: dict[str, dict[str, Any]] = {}
+        for key, value in params.items():
+            if "__" in key:
+                head, _, tail = key.partition("__")
+                if head not in valid:
+                    raise ValueError(
+                        f"invalid parameter {head!r} for {type(self).__name__}"
+                    )
+                nested.setdefault(head, {})[tail] = value
+            else:
+                if key not in valid:
+                    raise ValueError(
+                        f"invalid parameter {key!r} for {type(self).__name__}; "
+                        f"valid: {sorted(valid)}"
+                    )
+                setattr(self, key, value)
+        for head, sub_params in nested.items():
+            sub_est = getattr(self, head)
+            if not isinstance(sub_est, BaseEstimator):
+                raise ValueError(f"parameter {head!r} is not an estimator")
+            sub_est.set_params(**sub_params)
+        return self
+
+    def _check_fitted(self, *attrs: str) -> None:
+        missing = [a for a in attrs if not hasattr(self, a)]
+        if missing:
+            raise RuntimeError(
+                f"{type(self).__name__} is not fitted (missing {missing}); "
+                "call fit first"
+            )
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in self.get_params(deep=False).items())
+        return f"{type(self).__name__}({params})"
+
+
+class ClassifierMixin:
+    """Adds ``score`` = test accuracy, the challenge's evaluation metric."""
+
+    def score(self, X, y) -> float:
+        """Mean accuracy of predictions on (X, y)."""
+        from repro.ml.metrics import accuracy_score
+
+        return accuracy_score(np.asarray(y), self.predict(X))
+
+
+class TransformerMixin:
+    """Adds ``fit_transform`` sugar."""
+
+    def fit_transform(self, X, y=None):
+        """Fit to X, then transform it (convenience)."""
+        return self.fit(X, y).transform(X)
+
+
+def clone(estimator: BaseEstimator) -> BaseEstimator:
+    """Unfitted copy with identical hyperparameters (deep-copied values)."""
+    if not isinstance(estimator, BaseEstimator):
+        raise TypeError(f"cannot clone {type(estimator).__name__}")
+    params = {}
+    for name, value in estimator.get_params(deep=False).items():
+        if isinstance(value, BaseEstimator):
+            params[name] = clone(value)
+        elif isinstance(value, list) and all(
+            isinstance(v, tuple) and len(v) == 2 and isinstance(v[1], BaseEstimator)
+            for v in value
+        ):
+            # Pipeline-style [(name, estimator), ...] lists.
+            params[name] = [(n, clone(e)) for n, e in value]
+        else:
+            params[name] = copy.deepcopy(value)
+    return type(estimator)(**params)

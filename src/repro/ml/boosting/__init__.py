@@ -1,0 +1,19 @@
+"""Second-order gradient tree boosting (XGBoost-equivalent).
+
+Implements the Newton-boosting objective of Chen & Guestrin with the three
+regularizers the paper grid-searches in Section IV-B: ``gamma`` (minimum
+split-gain), ``reg_alpha`` (L1 on leaf weights) and ``reg_lambda`` (L2 on
+leaf weights), plus gain-based feature importance for the sensor-covariance
+analysis.
+"""
+
+from repro.ml.boosting.losses import softmax_cross_entropy_grad_hess, softmax_proba
+from repro.ml.boosting.gbtree import BoostingTree
+from repro.ml.boosting.xgb import GradientBoostingClassifier
+
+__all__ = [
+    "softmax_proba",
+    "softmax_cross_entropy_grad_hess",
+    "BoostingTree",
+    "GradientBoostingClassifier",
+]

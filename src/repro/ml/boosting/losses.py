@@ -1,0 +1,54 @@
+"""Multi-class softmax objective: probabilities, gradients, Hessians.
+
+XGBoost's ``multi:softprob`` objective boosts K trees per round, one per
+class, against the per-class gradient/diagonal-Hessian of the softmax
+cross-entropy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["softmax_proba", "softmax_cross_entropy_grad_hess", "log_loss"]
+
+
+def softmax_proba(margins: np.ndarray) -> np.ndarray:
+    """Row-wise softmax of a ``(n, k)`` margin matrix (stable)."""
+    margins = np.asarray(margins, dtype=np.float64)
+    if margins.ndim != 2:
+        raise ValueError(f"margins must be 2-D, got shape {margins.shape}")
+    z = margins - margins.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+def softmax_cross_entropy_grad_hess(
+    margins: np.ndarray, y: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-sample, per-class gradient and diagonal Hessian.
+
+    For softmax cross-entropy with one-hot targets::
+
+        g_ic = p_ic − 1[y_i = c]
+        h_ic = p_ic (1 − p_ic)     (diagonal approximation, as in XGBoost)
+
+    Hessians are floored at a small epsilon to keep leaf weights bounded.
+    """
+    p = softmax_proba(margins)
+    n, k = p.shape
+    y = np.asarray(y)
+    if y.shape != (n,):
+        raise ValueError(f"y must have shape ({n},), got {y.shape}")
+    if y.min() < 0 or y.max() >= k:
+        raise ValueError(f"labels out of range [0, {k})")
+    grad = p.copy()
+    grad[np.arange(n), y] -= 1.0
+    hess = np.maximum(p * (1.0 - p), 1e-16)
+    return grad, hess
+
+
+def log_loss(margins: np.ndarray, y: np.ndarray) -> float:
+    """Mean softmax cross-entropy (training-curve metric)."""
+    p = softmax_proba(margins)
+    n = p.shape[0]
+    return float(-np.mean(np.log(np.maximum(p[np.arange(n), y], 1e-300))))

@@ -1,0 +1,5 @@
+"""Ensemble methods: the paper's Random Forest baseline."""
+
+from repro.ml.ensemble.forest import RandomForestClassifier
+
+__all__ = ["RandomForestClassifier"]

@@ -1,0 +1,19 @@
+"""Classification metrics: the challenge scores on test accuracy."""
+
+from repro.ml.metrics.classification import (
+    accuracy_score,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    precision_recall_f1,
+    top_k_accuracy,
+)
+
+__all__ = [
+    "accuracy_score",
+    "confusion_matrix",
+    "precision_recall_f1",
+    "f1_score",
+    "classification_report",
+    "top_k_accuracy",
+]

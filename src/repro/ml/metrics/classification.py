@@ -1,0 +1,110 @@
+"""Multi-class classification metrics (NumPy implementations)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_consistent_length, check_labels
+
+__all__ = [
+    "accuracy_score",
+    "confusion_matrix",
+    "precision_recall_f1",
+    "f1_score",
+    "classification_report",
+    "top_k_accuracy",
+]
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exactly correct predictions — the WCC evaluation metric."""
+    y_true = check_labels(y_true, name="y_true")
+    y_pred = check_labels(y_pred, name="y_pred", n_samples=y_true.shape[0])
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true, y_pred, n_classes: int | None = None) -> np.ndarray:
+    """``C[i, j]`` = count of class-``i`` items predicted as class ``j``."""
+    y_true = check_labels(y_true, name="y_true")
+    y_pred = check_labels(y_pred, name="y_pred", n_samples=y_true.shape[0])
+    k = n_classes if n_classes is not None else int(max(y_true.max(), y_pred.max())) + 1
+    if y_true.max() >= k or y_pred.max() >= k:
+        raise ValueError(f"labels exceed n_classes={k}")
+    if y_true.min() < 0 or y_pred.min() < 0:
+        raise ValueError("labels must be non-negative")
+    flat = y_true * k + y_pred
+    return np.bincount(flat, minlength=k * k).reshape(k, k)
+
+
+def precision_recall_f1(
+    y_true, y_pred, n_classes: int | None = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-class precision, recall and F1 (zero where undefined)."""
+    C = confusion_matrix(y_true, y_pred, n_classes)
+    tp = np.diag(C).astype(np.float64)
+    pred_pos = C.sum(axis=0).astype(np.float64)
+    true_pos = C.sum(axis=1).astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        precision = np.where(pred_pos > 0, tp / pred_pos, 0.0)
+        recall = np.where(true_pos > 0, tp / true_pos, 0.0)
+        denom = precision + recall
+        f1 = np.where(denom > 0, 2 * precision * recall / denom, 0.0)
+    return precision, recall, f1
+
+
+def f1_score(y_true, y_pred, average: str = "macro") -> float:
+    """Macro- or micro-averaged F1."""
+    if average == "micro":
+        return accuracy_score(y_true, y_pred)  # micro-F1 == accuracy multi-class
+    if average != "macro":
+        raise ValueError(f"average must be 'macro' or 'micro', got {average!r}")
+    _, _, f1 = precision_recall_f1(y_true, y_pred)
+    # Average only over classes present in y_true.
+    y_true_arr = check_labels(y_true, name="y_true")
+    present = np.unique(y_true_arr)
+    return float(f1[present].mean())
+
+
+def top_k_accuracy(y_true, scores, k: int = 5) -> float:
+    """Fraction of samples whose true class is in the top-``k`` scores.
+
+    ``scores`` is ``(n_samples, n_classes)`` (probabilities or logits).
+    """
+    y_true = check_labels(y_true, name="y_true")
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2:
+        raise ValueError(f"scores must be 2-D, got shape {scores.shape}")
+    check_consistent_length(y_true, scores, names=("y_true", "scores"))
+    if not 1 <= k <= scores.shape[1]:
+        raise ValueError(f"k={k} out of range for {scores.shape[1]} classes")
+    topk = np.argpartition(-scores, kth=k - 1, axis=1)[:, :k]
+    return float(np.mean(np.any(topk == y_true[:, None], axis=1)))
+
+
+def classification_report(
+    y_true, y_pred, class_names: list[str] | None = None
+) -> str:
+    """Formatted per-class precision/recall/F1/support report."""
+    y_true = check_labels(y_true, name="y_true")
+    y_pred = check_labels(y_pred, name="y_pred", n_samples=y_true.shape[0])
+    k = int(max(y_true.max(), y_pred.max())) + 1
+    if class_names is not None and len(class_names) < k:
+        raise ValueError(f"need >= {k} class names, got {len(class_names)}")
+    precision, recall, f1 = precision_recall_f1(y_true, y_pred, k)
+    support = np.bincount(y_true, minlength=k)
+    names = class_names if class_names is not None else [str(i) for i in range(k)]
+    width = max(12, max(len(str(n)) for n in names[:k]) + 2)
+    lines = [f"{'class':<{width}} {'prec':>6} {'recall':>6} {'f1':>6} {'support':>8}"]
+    for i in range(k):
+        if support[i] == 0 and precision[i] == 0:
+            continue
+        lines.append(
+            f"{names[i]:<{width}} {precision[i]:>6.3f} {recall[i]:>6.3f} "
+            f"{f1[i]:>6.3f} {support[i]:>8d}"
+        )
+    lines.append("")
+    lines.append(
+        f"{'accuracy':<{width}} {accuracy_score(y_true, y_pred):>6.3f}"
+        f"{'':>14} {support.sum():>8d}"
+    )
+    return "\n".join(lines)

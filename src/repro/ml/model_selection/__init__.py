@@ -1,0 +1,21 @@
+"""Model selection: k-fold cross-validation and grid search.
+
+The paper selects SVM/RF models by "performing a 10-fold grid search over a
+variety of hyperparameters" and XGBoost by 5-fold cross-validation; these
+utilities implement that protocol.
+"""
+
+from repro.ml.model_selection.kfold import KFold, StratifiedKFold
+from repro.ml.model_selection.grid_search import (
+    GridSearchCV,
+    ParameterGrid,
+    cross_val_score,
+)
+
+__all__ = [
+    "KFold",
+    "StratifiedKFold",
+    "ParameterGrid",
+    "GridSearchCV",
+    "cross_val_score",
+]

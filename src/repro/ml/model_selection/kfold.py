@@ -1,0 +1,88 @@
+"""K-fold cross-validation splitters."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_labels
+
+__all__ = ["KFold", "StratifiedKFold"]
+
+
+class KFold:
+    """Plain k-fold: contiguous folds of a (possibly shuffled) index range."""
+
+    def __init__(
+        self,
+        n_splits: int = 5,
+        shuffle: bool = True,
+        random_state: int | np.random.Generator | None = 0,
+    ):
+        if n_splits < 2:
+            raise ValueError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X, y=None):
+        """Yield ``(train_idx, val_idx)`` pairs."""
+        n = len(X)
+        if n < self.n_splits:
+            raise ValueError(f"cannot split {n} samples into {self.n_splits} folds")
+        indices = np.arange(n)
+        if self.shuffle:
+            as_generator(self.random_state).shuffle(indices)
+        fold_sizes = np.full(self.n_splits, n // self.n_splits)
+        fold_sizes[: n % self.n_splits] += 1
+        start = 0
+        for size in fold_sizes:
+            val = indices[start : start + size]
+            train = np.concatenate([indices[:start], indices[start + size :]])
+            yield np.sort(train), np.sort(val)
+            start += size
+
+
+class StratifiedKFold:
+    """K-fold preserving per-class proportions in every fold.
+
+    Classes with fewer members than ``n_splits`` are round-robined so each
+    appears in at most one validation fold — no fold ever sees a class in
+    validation that is absent from its training side unless the class has a
+    single member.
+    """
+
+    def __init__(
+        self,
+        n_splits: int = 5,
+        shuffle: bool = True,
+        random_state: int | np.random.Generator | None = 0,
+    ):
+        if n_splits < 2:
+            raise ValueError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X, y):
+        """Yield (train_indices, val_indices) pairs."""
+        y = check_labels(y, name="y", n_samples=len(X))
+        rng = as_generator(self.random_state)
+        n = y.shape[0]
+        if n < self.n_splits:
+            raise ValueError(f"cannot split {n} samples into {self.n_splits} folds")
+        fold_of = np.empty(n, dtype=np.int64)
+        for cls in np.unique(y):
+            members = np.flatnonzero(y == cls)
+            if self.shuffle:
+                rng.shuffle(members)
+            # Deal members round-robin across folds.
+            fold_of[members] = np.arange(members.size) % self.n_splits
+        for fold in range(self.n_splits):
+            val = np.flatnonzero(fold_of == fold)
+            if val.size == 0:
+                raise ValueError(
+                    f"fold {fold} is empty; reduce n_splits={self.n_splits}"
+                )
+            train = np.flatnonzero(fold_of != fold)
+            yield train, val

@@ -1,0 +1,29 @@
+"""Preprocessing: the paper's two dimensionality reductions plus plumbing.
+
+Section IV-A pipeline order (which we preserve): standardize *first*, then
+apply either PCA (on flattened 540×7 = 3780-dim trials) or the covariance
+upper-triangle reduction to R^28.
+"""
+
+from repro.ml.preprocessing.scaler import StandardScaler, TimeSeriesStandardScaler
+from repro.ml.preprocessing.pca import PCA
+from repro.ml.preprocessing.covariance import (
+    CovarianceFeatures,
+    covariance_feature_names,
+    upper_triangle_covariance,
+)
+from repro.ml.preprocessing.feature_selection import SelectByImportance
+from repro.ml.preprocessing.flatten import Flatten3D
+from repro.ml.preprocessing.pipeline import Pipeline
+
+__all__ = [
+    "SelectByImportance",
+    "StandardScaler",
+    "TimeSeriesStandardScaler",
+    "PCA",
+    "CovarianceFeatures",
+    "covariance_feature_names",
+    "upper_triangle_covariance",
+    "Flatten3D",
+    "Pipeline",
+]

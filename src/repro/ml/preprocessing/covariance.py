@@ -1,0 +1,99 @@
+"""The paper's covariance dimensionality reduction (Section IV-A).
+
+Given one standardized trial ``M ∈ R^{540×7}``, compute the sensor Gram
+matrix ``MᵀM ∈ R^{7×7}`` and keep its upper triangle — 28 unique
+variance/covariance values — as the feature vector.  This maps the 3-D
+challenge tensor ``R^{n×540×7}`` to a 2-D design matrix ``R^{n×28}``.
+
+Feature naming follows Table III sensor order, so feature
+``cov(utilization_gpu_pct, power_draw_W)`` in the XGBoost importance
+analysis is directly addressable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, TransformerMixin
+from repro.simcluster.sensors import GPU_SENSORS
+from repro.utils.validation import check_3d
+
+__all__ = ["upper_triangle_covariance", "covariance_feature_names", "CovarianceFeatures"]
+
+
+def upper_triangle_covariance(X: np.ndarray, *, normalize: bool = True) -> np.ndarray:
+    """Vectorized per-trial sensor covariance, upper triangle only.
+
+    Parameters
+    ----------
+    X:
+        ``(n_trials, n_timesteps, n_sensors)`` tensor (standardize first, as
+        the paper does).
+    normalize:
+        Divide the Gram matrix by ``n_timesteps`` so values are per-sample
+        (co)variances rather than raw inner products; scale-invariant models
+        are unaffected, but it keeps features O(1).
+
+    Returns
+    -------
+    ``(n_trials, s(s+1)/2)`` matrix; for 7 sensors, 28 columns.
+    """
+    X = check_3d(X)
+    n, t, s = X.shape
+    # One batched GEMM for all trials: (n, s, t) @ (n, t, s) -> (n, s, s).
+    gram = np.einsum("nts,ntu->nsu", X, X, optimize=True)
+    if normalize:
+        gram = gram / t
+    iu = np.triu_indices(s)
+    return gram[:, iu[0], iu[1]]
+
+
+def covariance_feature_names(sensor_names: list[str] | None = None) -> list[str]:
+    """Names of the 28 covariance features, in feature-column order.
+
+    ``var(x)`` for diagonal entries, ``cov(x, y)`` off-diagonal; order
+    matches :func:`upper_triangle_covariance` (row-major upper triangle).
+    """
+    names = sensor_names if sensor_names is not None else [s.name for s in GPU_SENSORS]
+    s = len(names)
+    iu = np.triu_indices(s)
+    out = []
+    for i, j in zip(*iu):
+        if i == j:
+            out.append(f"var({names[i]})")
+        else:
+            out.append(f"cov({names[i]}, {names[j]})")
+    return out
+
+
+class CovarianceFeatures(BaseEstimator, TransformerMixin):
+    """Transformer wrapper around :func:`upper_triangle_covariance`.
+
+    Stateless (nothing is learned in ``fit``), but keeping the estimator
+    interface lets it slot into :class:`repro.ml.preprocessing.Pipeline`
+    and grid searches exactly where the paper puts it.
+    """
+
+    def __init__(self, normalize: bool = True):
+        self.normalize = normalize
+
+    def fit(self, X, y=None) -> "CovarianceFeatures":
+        """Fit to training data; returns self."""
+        X = check_3d(X)
+        self.n_sensors_in_ = X.shape[2]
+        self.feature_names_ = covariance_feature_names(
+            [s.name for s in GPU_SENSORS]
+            if X.shape[2] == len(GPU_SENSORS)
+            else [f"sensor{i}" for i in range(X.shape[2])]
+        )
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        """Apply the fitted transformation to X."""
+        self._check_fitted("n_sensors_in_")
+        X = check_3d(X)
+        if X.shape[2] != self.n_sensors_in_:
+            raise ValueError(
+                f"X has {X.shape[2]} sensors; fitted on {self.n_sensors_in_}"
+            )
+        return upper_triangle_covariance(X, normalize=self.normalize)

@@ -1,0 +1,38 @@
+"""Flatten 3-D trial tensors for the PCA pathway.
+
+"As each trial in the datasets from Table IV have 540 samples across 7
+sensors, before performing PCA each trial was reshaped to have the
+dimensions 3,780."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, TransformerMixin
+from repro.utils.validation import check_3d
+
+__all__ = ["Flatten3D"]
+
+
+class Flatten3D(BaseEstimator, TransformerMixin):
+    """Reshape ``(n, t, s)`` → ``(n, t*s)`` (a view when layout permits)."""
+
+    def __init__(self):
+        pass
+
+    def fit(self, X, y=None) -> "Flatten3D":
+        """Fit to training data; returns self."""
+        X = check_3d(X)
+        self.window_shape_ = X.shape[1:]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        """Apply the fitted transformation to X."""
+        self._check_fitted("window_shape_")
+        X = check_3d(X)
+        if X.shape[1:] != self.window_shape_:
+            raise ValueError(
+                f"window shape {X.shape[1:]} differs from fitted {self.window_shape_}"
+            )
+        return X.reshape(X.shape[0], -1)

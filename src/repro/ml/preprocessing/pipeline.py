@@ -1,0 +1,109 @@
+"""Sequential transformer → estimator pipeline.
+
+Enough of scikit-learn's ``Pipeline`` semantics for the paper's workflows:
+ordered named steps, ``step__param`` routing in ``set_params`` (so grid
+search can sweep ``pca__n_components`` and ``svc__C`` together), and
+``fit`` / ``predict`` / ``score`` delegation to the final estimator.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.ml.base import BaseEstimator, ClassifierMixin, TransformerMixin
+
+__all__ = ["Pipeline"]
+
+
+class Pipeline(BaseEstimator, ClassifierMixin):
+    """Chain of ``(name, transformer)`` steps ending in any estimator."""
+
+    def __init__(self, steps: list[tuple[str, Any]]):
+        if not steps:
+            raise ValueError("Pipeline needs at least one step")
+        names = [name for name, _ in steps]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate step names in {names}")
+        for name, est in steps[:-1]:
+            if not (hasattr(est, "fit") and hasattr(est, "transform")):
+                raise TypeError(
+                    f"intermediate step {name!r} must be a transformer "
+                    f"(has fit/transform), got {type(est).__name__}"
+                )
+        if not hasattr(steps[-1][1], "fit"):
+            raise TypeError("final step must have a fit method")
+        self.steps = steps
+
+    # -- parameter routing -------------------------------------------------
+    def get_params(self, deep: bool = True) -> dict[str, Any]:
+        """Hyperparameters, optionally expanded through nested steps."""
+        params: dict[str, Any] = {"steps": self.steps}
+        if deep:
+            for name, est in self.steps:
+                params[name] = est
+                if isinstance(est, BaseEstimator):
+                    for sub, val in est.get_params(deep=True).items():
+                        params[f"{name}__{sub}"] = val
+        return params
+
+    def set_params(self, **params) -> "Pipeline":
+        """Set (possibly step-routed) hyperparameters."""
+        step_map = dict(self.steps)
+        for key, value in params.items():
+            if key == "steps":
+                self.steps = value
+                step_map = dict(self.steps)
+                continue
+            head, sep, tail = key.partition("__")
+            if head not in step_map:
+                raise ValueError(f"no step named {head!r} in {list(step_map)}")
+            if not sep:
+                step_map[head] = value
+                self.steps = [(n, step_map[n]) for n, _ in self.steps]
+            else:
+                step_map[head].set_params(**{tail: value})
+        return self
+
+    # -- fitting / inference ------------------------------------------------
+    def _transform_through(self, X, *, upto: int):
+        for _name, est in self.steps[:upto]:
+            X = est.transform(X)
+        return X
+
+    def fit(self, X, y=None) -> "Pipeline":
+        """Fit to training data; returns self."""
+        for _name, est in self.steps[:-1]:
+            if isinstance(est, TransformerMixin) or hasattr(est, "fit_transform"):
+                X = est.fit_transform(X, y)
+            else:
+                est.fit(X, y)
+                X = est.transform(X)
+        self.steps[-1][1].fit(X, y)
+        self.fitted_ = True
+        return self
+
+    def transform(self, X):
+        """Apply all steps' transforms (final step must be a transformer)."""
+        self._check_fitted("fitted_")
+        X = self._transform_through(X, upto=len(self.steps) - 1)
+        return self.steps[-1][1].transform(X)
+
+    def predict(self, X):
+        """Predict class labels for X."""
+        self._check_fitted("fitted_")
+        X = self._transform_through(X, upto=len(self.steps) - 1)
+        return self.steps[-1][1].predict(X)
+
+    def predict_proba(self, X):
+        """Per-class probability estimates for X."""
+        self._check_fitted("fitted_")
+        X = self._transform_through(X, upto=len(self.steps) - 1)
+        return self.steps[-1][1].predict_proba(X)
+
+    @property
+    def named_steps(self) -> dict[str, Any]:
+        """Steps as a name -> estimator mapping."""
+        return dict(self.steps)
+
+    def __getitem__(self, name: str):
+        return self.named_steps[name]

@@ -1,0 +1,24 @@
+"""Kernel support-vector classification trained with SMO.
+
+The paper's SVM baseline uses scikit-learn's ``SVC`` (RBF kernel, C swept
+over {0.1, 1, 10}).  This subpackage reimplements it: a binary soft-margin
+SVM solved by Sequential Minimal Optimization with maximal-violating-pair
+working-set selection, lifted to multiclass by one-vs-one voting (the same
+scheme ``SVC`` uses).
+"""
+
+from repro.ml.svm.kernels import KERNELS, kernel_matrix, resolve_gamma
+from repro.ml.svm.ovr import OneVsRestSVC
+from repro.ml.svm.smo import SMOResult, smo_solve
+from repro.ml.svm.svc import SVC, BinarySVC
+
+__all__ = [
+    "OneVsRestSVC",
+    "KERNELS",
+    "kernel_matrix",
+    "resolve_gamma",
+    "smo_solve",
+    "SMOResult",
+    "BinarySVC",
+    "SVC",
+]

@@ -1,0 +1,70 @@
+"""One-vs-rest multiclass SVC.
+
+:class:`repro.ml.svm.SVC` uses one-vs-one voting (scikit-learn's scheme,
+hence the paper's).  OvR is the common alternative — one binary machine
+per class against everything else — trading k(k−1)/2 small problems for k
+large ones.  Exposed for completeness and for the class-imbalance
+experiments (OvR sees the full imbalance, OvO does not).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, ClassifierMixin
+from repro.ml.svm.svc import BinarySVC
+from repro.utils.validation import check_2d, check_labels
+
+__all__ = ["OneVsRestSVC"]
+
+
+class OneVsRestSVC(BaseEstimator, ClassifierMixin):
+    """One binary SVM per class; predict the class with the largest margin."""
+
+    def __init__(
+        self,
+        C: float = 1.0,
+        kernel: str = "rbf",
+        gamma: float | str = "scale",
+        degree: int = 3,
+        coef0: float = 0.0,
+        tol: float = 1e-3,
+        max_iter: int = 20_000,
+    ):
+        self.C = C
+        self.kernel = kernel
+        self.gamma = gamma
+        self.degree = degree
+        self.coef0 = coef0
+        self.tol = tol
+        self.max_iter = max_iter
+
+    def fit(self, X, y) -> "OneVsRestSVC":
+        """Fit to training data; returns self."""
+        X = check_2d(X)
+        y = check_labels(y, n_samples=X.shape[0])
+        self.classes_ = np.unique(y)
+        if self.classes_.size < 2:
+            raise ValueError("need at least two classes")
+        self.machines_: list[BinarySVC] = []
+        for cls in self.classes_:
+            yy = np.where(y == cls, 1.0, -1.0)
+            machine = BinarySVC(
+                C=self.C, kernel=self.kernel, gamma=self.gamma,
+                degree=self.degree, coef0=self.coef0, tol=self.tol,
+                max_iter=self.max_iter,
+            )
+            machine.fit(X, yy)
+            self.machines_.append(machine)
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        """Per-class signed margins, shape ``(n, n_classes)``."""
+        self._check_fitted("machines_")
+        X = check_2d(X)
+        return np.column_stack([m.decision_function(X) for m in self.machines_])
+
+    def predict(self, X) -> np.ndarray:
+        """Predict class labels for X."""
+        return self.classes_[np.argmax(self.decision_function(X), axis=1)]

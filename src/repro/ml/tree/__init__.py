@@ -1,0 +1,5 @@
+"""CART decision trees (the base learner for the random forest)."""
+
+from repro.ml.tree.decision_tree import DecisionTreeClassifier
+
+__all__ = ["DecisionTreeClassifier"]

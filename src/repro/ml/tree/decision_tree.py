@@ -1,0 +1,235 @@
+"""CART classification tree with a fully vectorized split search.
+
+Per node, per candidate feature: sort the node's samples by feature value,
+build cumulative one-hot class counts, and score *every* split position in
+one shot (Gini impurity from the prefix/suffix count matrices).  The only
+Python-level loops are over features at a node and over nodes — both small
+— so fitting stays NumPy-bound (see the vectorization guide).
+
+The fitted tree is stored in flat arrays (``feature_``, ``threshold_``,
+``children_left_`` …), and prediction advances all query rows level-by-level
+through those arrays — no per-sample recursion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, ClassifierMixin
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_2d, check_labels
+
+__all__ = ["DecisionTreeClassifier", "best_split_gini"]
+
+_NO_SPLIT = (-1, 0.0, -np.inf)
+
+
+def best_split_gini(
+    x: np.ndarray,
+    y_onehot: np.ndarray,
+    min_samples_leaf: int,
+) -> tuple[float, float] | None:
+    """Best threshold on one feature by Gini gain.
+
+    Parameters
+    ----------
+    x:
+        Feature values at the node, shape ``(n,)``.
+    y_onehot:
+        One-hot labels at the node, shape ``(n, k)``.
+    min_samples_leaf:
+        Minimum samples each side must keep.
+
+    Returns
+    -------
+    ``(threshold, weighted_gini)`` of the best valid split, or ``None`` if
+    no valid split exists (constant feature or leaf-size limits).
+    """
+    n = x.shape[0]
+    order = np.argsort(x, kind="stable")
+    xs = x[order]
+    counts_left = np.cumsum(y_onehot[order], axis=0)  # (n, k), position i = left size i+1
+    total = counts_left[-1]
+
+    # Split after position i (left = first i+1 samples).  Valid positions:
+    # value changes AND both sides satisfy the leaf minimum.
+    left_sizes = np.arange(1, n + 1)
+    valid = np.empty(n, dtype=bool)
+    valid[:-1] = xs[1:] > xs[:-1]
+    valid[-1] = False
+    valid &= (left_sizes >= min_samples_leaf) & ((n - left_sizes) >= min_samples_leaf)
+    if not valid.any():
+        return None
+
+    nl = left_sizes[:, None].astype(np.float64)
+    nr = (n - left_sizes)[:, None].astype(np.float64)
+    counts_right = total[None, :] - counts_left
+    with np.errstate(divide="ignore", invalid="ignore"):
+        gini_l = 1.0 - np.sum((counts_left / nl) ** 2, axis=1)
+        gini_r = 1.0 - np.sum(
+            np.where(nr > 0, counts_right / nr, 0.0) ** 2, axis=1
+        )
+    weighted = (left_sizes * gini_l + (n - left_sizes) * gini_r) / n
+    weighted[~valid] = np.inf
+    best = int(np.argmin(weighted))
+    threshold = 0.5 * (xs[best] + xs[best + 1])
+    return float(threshold), float(weighted[best])
+
+
+class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
+    """Gini-impurity CART classifier.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth cap (``None`` = grow until pure / size limits).
+    min_samples_split, min_samples_leaf:
+        Standard CART pre-pruning controls.
+    max_features:
+        ``None`` (all), ``"sqrt"``, or an int — candidate features per node.
+        Random forests pass ``"sqrt"``.
+    random_state:
+        Seeds the per-node feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = None,
+        random_state: int | np.random.Generator | None = None,
+    ):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+
+    def _n_candidate_features(self, p: int) -> int:
+        if self.max_features is None:
+            return p
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(p)))
+        k = int(self.max_features)
+        if not 1 <= k <= p:
+            raise ValueError(f"max_features={k} out of range [1, {p}]")
+        return k
+
+    def fit(self, X, y) -> "DecisionTreeClassifier":
+        """Fit to training data; returns self."""
+        X = check_2d(X)
+        y = check_labels(y, n_samples=X.shape[0])
+        if self.min_samples_leaf < 1 or self.min_samples_split < 2:
+            raise ValueError("min_samples_leaf >= 1 and min_samples_split >= 2 required")
+        self.classes_ = np.unique(y)
+        k = self.classes_.size
+        y_idx = np.searchsorted(self.classes_, y)
+        onehot = np.eye(k, dtype=np.float64)[y_idx]
+        rng = as_generator(self.random_state)
+        p = X.shape[1]
+        m = self._n_candidate_features(p)
+        max_depth = self.max_depth if self.max_depth is not None else np.inf
+
+        feature: list[int] = []
+        threshold: list[float] = []
+        left: list[int] = []
+        right: list[int] = []
+        value: list[np.ndarray] = []
+
+        def new_node() -> int:
+            feature.append(-1)
+            threshold.append(0.0)
+            left.append(-1)
+            right.append(-1)
+            value.append(None)  # type: ignore[arg-type]
+            return len(feature) - 1
+
+        # Iterative depth-first growth (explicit stack; no recursion limit).
+        root = new_node()
+        stack: list[tuple[int, np.ndarray, int]] = [(root, np.arange(X.shape[0]), 0)]
+        while stack:
+            node, idx, depth = stack.pop()
+            counts = onehot[idx].sum(axis=0)
+            value[node] = counts / counts.sum()
+            n_node = idx.size
+            if (
+                depth >= max_depth
+                or n_node < self.min_samples_split
+                or np.max(counts) == n_node  # pure
+            ):
+                continue
+            cand = (
+                np.arange(p)
+                if m == p
+                else rng.choice(p, size=m, replace=False)
+            )
+            best_feat, best_thr, best_score = -1, 0.0, np.inf
+            Xn = X[idx]
+            yn = onehot[idx]
+            for f in cand:
+                res = best_split_gini(Xn[:, f], yn, self.min_samples_leaf)
+                if res is not None and res[1] < best_score:
+                    best_feat, best_thr, best_score = int(f), res[0], res[1]
+            if best_feat < 0:
+                continue
+            go_left = Xn[:, best_feat] <= best_thr
+            feature[node] = best_feat
+            threshold[node] = best_thr
+            l_node, r_node = new_node(), new_node()
+            left[node], right[node] = l_node, r_node
+            stack.append((l_node, idx[go_left], depth + 1))
+            stack.append((r_node, idx[~go_left], depth + 1))
+
+        self.feature_ = np.array(feature, dtype=np.int64)
+        self.threshold_ = np.array(threshold, dtype=np.float64)
+        self.children_left_ = np.array(left, dtype=np.int64)
+        self.children_right_ = np.array(right, dtype=np.int64)
+        self.value_ = np.vstack(value)
+        self.n_features_in_ = p
+        self.n_nodes_ = len(feature)
+        return self
+
+    # ------------------------------------------------------------------
+    def _leaf_indices(self, X: np.ndarray) -> np.ndarray:
+        """Advance all rows to their leaf node (vectorized level walk)."""
+        node = np.zeros(X.shape[0], dtype=np.int64)
+        while True:
+            feat = self.feature_[node]
+            internal = feat >= 0
+            if not internal.any():
+                return node
+            rows = np.flatnonzero(internal)
+            f = feat[rows]
+            thr = self.threshold_[node[rows]]
+            goes_left = X[rows, f] <= thr
+            node[rows] = np.where(
+                goes_left,
+                self.children_left_[node[rows]],
+                self.children_right_[node[rows]],
+            )
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Per-class probability estimates for X."""
+        self._check_fitted("value_")
+        X = check_2d(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features; tree fitted on {self.n_features_in_}"
+            )
+        return self.value_[self._leaf_indices(X)]
+
+    def predict(self, X) -> np.ndarray:
+        """Predict class labels for X."""
+        return self.classes_[np.argmax(self.predict_proba(X), axis=1)]
+
+    @property
+    def depth_(self) -> int:
+        """Actual depth of the fitted tree."""
+        self._check_fitted("feature_")
+        depth = np.zeros(self.n_nodes_, dtype=np.int64)
+        for node in range(self.n_nodes_):
+            for child in (self.children_left_[node], self.children_right_[node]):
+                if child >= 0:
+                    depth[child] = depth[node] + 1
+        return int(depth.max())

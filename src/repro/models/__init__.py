@@ -1,0 +1,41 @@
+"""The paper's baseline models, exactly as configured in Sections IV and V.
+
+* :mod:`repro.models.traditional` — SVM / RF / XGBoost pipelines with the
+  PCA and covariance reductions and the paper's hyperparameter grids.
+* :mod:`repro.models.lstm_baseline` — the bidirectional LSTM classifier
+  (h=128, 1- and 2-layer) of Section V-A.
+* :mod:`repro.models.cnn_lstm` — the CNN-LSTM variants of Section V-B.
+"""
+
+from repro.models.traditional import (
+    PAPER_PCA_DIMS,
+    PAPER_RF_TREES,
+    PAPER_SVM_C,
+    PAPER_XGB_GRID,
+    make_rf_cov,
+    make_rf_pca,
+    make_svm_cov,
+    make_svm_pca,
+    make_xgb_cov,
+    traditional_grid,
+)
+from repro.models.lstm_baseline import LSTMClassifier
+from repro.models.cnn_lstm import CNNLSTMClassifier, CNN_LSTM_PAPER_VARIANTS
+from repro.models.convlstm_model import ConvLSTMClassifier
+
+__all__ = [
+    "PAPER_SVM_C",
+    "PAPER_RF_TREES",
+    "PAPER_PCA_DIMS",
+    "PAPER_XGB_GRID",
+    "make_svm_pca",
+    "make_svm_cov",
+    "make_rf_pca",
+    "make_rf_cov",
+    "make_xgb_cov",
+    "traditional_grid",
+    "LSTMClassifier",
+    "CNNLSTMClassifier",
+    "CNN_LSTM_PAPER_VARIANTS",
+    "ConvLSTMClassifier",
+]

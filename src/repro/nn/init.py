@@ -1,0 +1,60 @@
+"""Weight initialization schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "kaiming_uniform", "uniform_fan_in", "orthogonal"]
+
+
+def xavier_uniform(
+    shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0
+) -> np.ndarray:
+    """Glorot uniform: U(±gain·√(6/(fan_in+fan_out)))."""
+    fan_in, fan_out = _fans(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def kaiming_uniform(
+    shape: tuple[int, ...], rng: np.random.Generator, negative_slope: float = 0.0
+) -> np.ndarray:
+    """He uniform for (leaky-)ReLU fan-in."""
+    fan_in, _ = _fans(shape)
+    gain = np.sqrt(2.0 / (1.0 + negative_slope**2))
+    bound = gain * np.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def uniform_fan_in(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """PyTorch's LSTM default: U(±1/√hidden) applied to every weight/bias."""
+    fan_in, _ = _fans(shape)
+    bound = 1.0 / np.sqrt(fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def orthogonal(shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+    """Orthogonal init for recurrent weights (stabilizes long sequences)."""
+    if len(shape) != 2:
+        raise ValueError(f"orthogonal init needs a 2-D shape, got {shape}")
+    a = rng.normal(size=(max(shape), min(shape)))
+    q, _r = np.linalg.qr(a)
+    q = q[: shape[0], : shape[1]] if q.shape != shape else q
+    if q.shape != shape:
+        q = q.T
+    return q.astype(np.float32)
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) < 1:
+        raise ValueError("cannot compute fans of a scalar shape")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        # Linear weights are (in_features, out_features).
+        return shape[0], shape[1]
+    # Conv weights are (out_channels, in_channels, *kernel).
+    receptive = int(np.prod(shape[2:]))
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out

@@ -1,0 +1,162 @@
+"""1-D convolution and max-pooling over channels-last sequences.
+
+Input layout is ``(batch, time, channels)`` — the same layout the challenge
+tensors and the LSTM use, so the paper's CNN-LSTM front end composes
+without transposes.
+
+Both layers are *fused* autograd nodes: the forward builds strided windows
+with ``sliding_window_view`` (zero-copy) and contracts them with one
+einsum/GEMM; the backward is hand-derived (see
+:class:`repro.nn.tensor.Tensor.from_op`), avoiding hundreds of small graph
+nodes per sequence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.nn.init import kaiming_uniform, uniform_fan_in
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+from repro.utils.rng import as_generator
+
+__all__ = ["Conv1d", "MaxPool1d"]
+
+
+def conv_output_length(t: int, kernel: int, stride: int, padding: int = 0) -> int:
+    """Output length for the given geometry."""
+    t_eff = t + 2 * padding
+    if t_eff < kernel:
+        raise ValueError(f"sequence length {t_eff} shorter than kernel {kernel}")
+    return (t_eff - kernel) // stride + 1
+
+
+def resolve_padding(padding: int | str, kernel_size: int) -> int:
+    """Resolve 'valid' / 'same' / explicit int padding."""
+    if padding == "valid":
+        return 0
+    if padding == "same":
+        if kernel_size % 2 == 0:
+            raise ValueError("'same' padding requires an odd kernel size")
+        return (kernel_size - 1) // 2
+    pad = int(padding)
+    if pad < 0:
+        raise ValueError(f"padding must be >= 0, got {padding}")
+    return pad
+
+
+class Conv1d(Module):
+    """Valid (no-padding) 1-D convolution, ``(N, T, C_in) → (N, T', C_out)``.
+
+    Weight shape is ``(C_out, C_in, K)``; output ``T' = (T − K)//stride + 1``.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int | str = "valid",
+        bias: bool = True,
+        rng: np.random.Generator | int | None = None,
+    ):
+        super().__init__()
+        if kernel_size < 1 or stride < 1:
+            raise ValueError(
+                f"kernel_size and stride must be >= 1, got {kernel_size}, {stride}"
+            )
+        rng = as_generator(rng)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self._pad = resolve_padding(padding, kernel_size)
+        self.weight = Parameter(
+            kaiming_uniform((out_channels, in_channels, kernel_size), rng),
+            name="conv_weight",
+        )
+        self.bias = (
+            Parameter(uniform_fan_in((out_channels,), rng), name="conv_bias")
+            if bias
+            else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Compute the layer's output for the given input."""
+        if x.ndim != 3 or x.shape[2] != self.in_channels:
+            raise ValueError(
+                f"expected (N, T, {self.in_channels}), got {x.shape}"
+            )
+        stride, K, pad = self.stride, self.kernel_size, self._pad
+        w, b = self.weight, self.bias
+        x_data = x.data
+        if pad:
+            x_data = np.pad(x_data, ((0, 0), (pad, pad), (0, 0)))
+        # (N, T, C) -> windows (N, T', C, K), a strided view (no copy).
+        windows = sliding_window_view(x_data, K, axis=1)[:, ::stride]
+        out = np.einsum("ntck,ock->nto", windows, w.data, optimize=True)
+        if b is not None:
+            out = out + b.data
+        out = np.ascontiguousarray(out, dtype=x.dtype)
+        t_out = out.shape[1]
+        offsets = np.arange(t_out) * stride
+
+        parents = (x, w) if b is None else (x, w, b)
+
+        def backward(g):
+            if w.requires_grad:
+                w._accum(np.einsum("nto,ntck->ock", g, windows, optimize=True))
+            if b is not None and b.requires_grad:
+                b._accum(g.sum(axis=(0, 1)))
+            if x.requires_grad:
+                dxw = np.einsum("nto,ock->ntck", g, w.data, optimize=True)
+                dx = np.zeros_like(x_data)
+                # For fixed k the target positions offsets+k are distinct,
+                # so fancy-index accumulation is race-free.
+                for k in range(K):
+                    dx[:, offsets + k, :] += dxw[:, :, :, k]
+                if pad:
+                    dx = dx[:, pad:-pad, :]
+                x._accum(dx)
+
+        return Tensor.from_op(out, parents, backward)
+
+
+class MaxPool1d(Module):
+    """Non-overlapping (by default) temporal max pooling, channels-last."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None):
+        super().__init__()
+        if kernel_size < 1:
+            raise ValueError(f"kernel_size must be >= 1, got {kernel_size}")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        if self.stride < 1:
+            raise ValueError(f"stride must be >= 1, got {self.stride}")
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Compute the layer's output for the given input."""
+        if x.ndim != 3:
+            raise ValueError(f"expected (N, T, C), got {x.shape}")
+        K, stride = self.kernel_size, self.stride
+        windows = sliding_window_view(x.data, K, axis=1)[:, ::stride]  # (N,T',C,K)
+        arg = windows.argmax(axis=3)  # (N, T', C)
+        out = np.take_along_axis(windows, arg[..., None], axis=3)[..., 0]
+        out = np.ascontiguousarray(out, dtype=x.dtype)
+        n, t_out, c = out.shape
+        offsets = np.arange(t_out) * stride
+
+        def backward(g):
+            if not x.requires_grad:
+                return
+            dx = np.zeros_like(x.data)
+            time_idx = offsets[None, :, None] + arg  # (N, T', C)
+            n_idx = np.arange(n)[:, None, None]
+            c_idx = np.arange(c)[None, None, :]
+            np.add.at(dx, (n_idx, time_idx, c_idx), g)
+            x._accum(dx)
+
+        return Tensor.from_op(out, (x,), backward)

@@ -1,0 +1,108 @@
+"""1-D ConvLSTM (Shi et al., NIPS 2015), the paper's suggested future-work
+architecture.
+
+"We believe that the ConvLSTM architecture is promising in its ability to
+capture convolutional features in both the input-to-state and
+state-to-state domains" (Section VI).  A ConvLSTM replaces the LSTM's dense
+gate transforms with convolutions::
+
+    z_t = Conv_x(x_t) + Conv_h(h_{t-1}) ,   gates i, f, g, o from z_t
+    c_t = f ∘ c_{t-1} + i ∘ g ,              h_t = o ∘ tanh(c_t)
+
+For the challenge's telemetry we factor each 540-sample window into
+``n_segments`` coarse time steps of ``segment_len`` fine samples; the
+ConvLSTM scans segments (state evolution) while convolving along the fine
+axis within each segment (local pattern extraction), keeping state shape
+``(batch, segment_len, hidden_channels)``.
+
+Unlike :class:`repro.nn.layers.rnn.LSTM` (fused BPTT over 540 steps), the
+segment count here is small (~10–30), so the layer composes ordinary
+autograd ops — padded :class:`Conv1d` for both gate paths plus pointwise
+gate math — and inherits exact gradients from the engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.conv import Conv1d
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.utils.rng import as_generator, spawn_generators
+
+__all__ = ["ConvLSTM1d", "segment_sequence"]
+
+
+def segment_sequence(x: np.ndarray, n_segments: int) -> np.ndarray:
+    """Reshape ``(N, T, C)`` into ``(N, n_segments, T // n_segments, C)``.
+
+    Trailing samples that do not fill a segment are dropped (at 9 Hz this
+    loses < 1 coarse step of a 60 s window).
+    """
+    x = np.asarray(x)
+    if x.ndim != 3:
+        raise ValueError(f"expected (N, T, C), got shape {x.shape}")
+    n, t, c = x.shape
+    if n_segments < 1 or n_segments > t:
+        raise ValueError(f"n_segments={n_segments} out of range [1, {t}]")
+    seg_len = t // n_segments
+    return x[:, : n_segments * seg_len].reshape(n, n_segments, seg_len, c)
+
+
+class ConvLSTM1d(Module):
+    """Convolutional LSTM over segmented 1-D sequences.
+
+    Parameters
+    ----------
+    in_channels / hidden_channels:
+        Channels of the input segments and of the recurrent state.
+    kernel_size:
+        Convolution width along the fine (within-segment) axis; must be odd
+        ('same' padding keeps the state length fixed across steps).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        hidden_channels: int,
+        kernel_size: int = 5,
+        rng: np.random.Generator | int | None = None,
+    ):
+        super().__init__()
+        if kernel_size % 2 == 0:
+            raise ValueError("kernel_size must be odd ('same' padding)")
+        rngs = spawn_generators(as_generator(rng), 2)
+        self.in_channels = in_channels
+        self.hidden_channels = hidden_channels
+        self.kernel_size = kernel_size
+        self.conv_x = Conv1d(in_channels, 4 * hidden_channels, kernel_size,
+                             padding="same", rng=rngs[0])
+        self.conv_h = Conv1d(hidden_channels, 4 * hidden_channels, kernel_size,
+                             padding="same", bias=False, rng=rngs[1])
+
+    def forward(self, x: Tensor) -> Tensor:
+        """``(N, n_segments, L, C_in)`` → ``(N, n_segments, L, C_hidden)``.
+
+        Returns the full hidden-state sequence; take ``out[:, -1]`` for the
+        final state.
+        """
+        if x.ndim != 4 or x.shape[3] != self.in_channels:
+            raise ValueError(
+                f"expected (N, S, L, {self.in_channels}), got {x.shape}"
+            )
+        n, n_seg, seg_len, _ = x.shape
+        ch = self.hidden_channels
+
+        h = Tensor(np.zeros((n, seg_len, ch), dtype=np.float32))
+        c = Tensor(np.zeros((n, seg_len, ch), dtype=np.float32))
+        outputs: list[Tensor] = []
+        for t in range(n_seg):
+            z = self.conv_x(x[:, t]) + self.conv_h(h)
+            i = z[:, :, :ch].sigmoid()
+            f = z[:, :, ch : 2 * ch].sigmoid()
+            g = z[:, :, 2 * ch : 3 * ch].tanh()
+            o = z[:, :, 3 * ch :].sigmoid()
+            c = f * c + i * g
+            h = o * c.tanh()
+            outputs.append(h)
+        return Tensor.stack(outputs, axis=1)

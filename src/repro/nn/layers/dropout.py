@@ -1,0 +1,31 @@
+"""Dropout layer (inverted scaling, train-mode only)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import dropout
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.utils.rng import as_generator
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Module):
+    """Drop activations with probability ``p`` during training.
+
+    The paper uses ``p = 0.5`` after the LSTM projection and between
+    stacked LSTM layers.
+    """
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | int | None = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"p must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = as_generator(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Compute the layer's output for the given input."""
+        return dropout(x, self.p, self.rng, training=self.training)

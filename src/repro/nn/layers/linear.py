@@ -1,0 +1,57 @@
+"""Dense (fully-connected) layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import kaiming_uniform, uniform_fan_in
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+from repro.utils.rng import as_generator
+
+__all__ = ["Linear"]
+
+
+class Linear(Module):
+    """``y = x @ W + b`` with weight shape ``(in_features, out_features)``.
+
+    Accepts any leading batch shape; the last axis must be ``in_features``.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | int | None = None,
+    ):
+        super().__init__()
+        if in_features < 1 or out_features < 1:
+            raise ValueError(
+                f"features must be >= 1, got in={in_features}, out={out_features}"
+            )
+        rng = as_generator(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            kaiming_uniform((in_features, out_features), rng), name="weight"
+        )
+        self.bias = (
+            Parameter(uniform_fan_in((out_features,), rng), name="bias")
+            if bias
+            else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Compute the layer's output for the given input."""
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"expected last dim {self.in_features}, got {x.shape[-1]}"
+            )
+        flat = x.reshape(-1, self.in_features) if x.ndim != 2 else x
+        out = flat @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        if x.ndim != 2:
+            out = out.reshape(*x.shape[:-1], self.out_features)
+        return out

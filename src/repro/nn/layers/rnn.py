@@ -1,0 +1,186 @@
+"""LSTM layers with fused hand-derived backward.
+
+A per-op autograd LSTM would create hundreds of graph nodes per timestep;
+here the whole sequence is one graph node.  The forward caches gate
+activations per step; the backward runs the standard BPTT recurrences, with
+the weight-gradient contractions hoisted *out* of the time loop into three
+large GEMMs (the dominant cost becomes BLAS, per the optimization guide).
+
+Gate order follows PyTorch: input ``i``, forget ``f``, cell ``g``,
+output ``o``::
+
+    z_t = x_t W_ih + h_{t-1} W_hh + b
+    c_t = f·c_{t-1} + i·g ,   h_t = o·tanh(c_t)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import orthogonal, uniform_fan_in
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+from repro.utils.rng import as_generator
+
+__all__ = ["LSTM", "BiLSTM"]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+class LSTM(Module):
+    """Unidirectional LSTM returning the full hidden-state sequence.
+
+    ``forward(x)`` maps ``(N, T, D) → (N, T, H)``.  Set ``reverse=True`` to
+    process the sequence end-to-start (used by :class:`BiLSTM`); the output
+    is returned in *original* time order either way.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator | int | None = None,
+    ):
+        super().__init__()
+        if input_size < 1 or hidden_size < 1:
+            raise ValueError(
+                f"sizes must be >= 1, got input={input_size}, hidden={hidden_size}"
+            )
+        rng = as_generator(rng)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        H = hidden_size
+        self.w_ih = Parameter(uniform_fan_in((input_size, 4 * H), rng), name="w_ih")
+        # Orthogonal recurrent blocks per gate keep long sequences stable.
+        w_hh = np.concatenate([orthogonal((H, H), rng) for _ in range(4)], axis=1)
+        self.w_hh = Parameter(w_hh, name="w_hh")
+        bias = np.zeros(4 * H, dtype=np.float32)
+        bias[H : 2 * H] = 1.0  # forget-gate bias 1: standard trick
+        self.bias = Parameter(bias, name="bias")
+
+    def forward(self, x: Tensor, reverse: bool = False) -> Tensor:
+        """Compute the layer's output for the given input."""
+        if x.ndim != 3 or x.shape[2] != self.input_size:
+            raise ValueError(f"expected (N, T, {self.input_size}), got {x.shape}")
+        N, T, _D = x.shape
+        H = self.hidden_size
+        w_ih, w_hh, bias = self.w_ih, self.w_hh, self.bias
+
+        xs = x.data[:, ::-1] if reverse else x.data
+        # Input contribution for all steps at once: one big GEMM.
+        zx = xs.reshape(N * T, -1) @ w_ih.data
+        zx = zx.reshape(N, T, 4 * H) + bias.data
+
+        gates = np.empty((T, N, 4 * H), dtype=np.float32)  # activated i,f,g,o
+        cells = np.empty((T, N, H), dtype=np.float32)      # c_t
+        tanh_c = np.empty((T, N, H), dtype=np.float32)
+        h_prev_all = np.empty((T, N, H), dtype=np.float32)
+        h = np.zeros((N, H), dtype=np.float32)
+        c = np.zeros((N, H), dtype=np.float32)
+        out = np.empty((N, T, H), dtype=np.float32)
+
+        for t in range(T):
+            h_prev_all[t] = h
+            z = zx[:, t] + h @ w_hh.data
+            i = _sigmoid(z[:, :H])
+            f = _sigmoid(z[:, H : 2 * H])
+            g = np.tanh(z[:, 2 * H : 3 * H])
+            o = _sigmoid(z[:, 3 * H :])
+            c = f * c + i * g
+            tc = np.tanh(c)
+            h = o * tc
+            gates[t, :, :H] = i
+            gates[t, :, H : 2 * H] = f
+            gates[t, :, 2 * H : 3 * H] = g
+            gates[t, :, 3 * H :] = o
+            cells[t] = c
+            tanh_c[t] = tc
+            out[:, t] = h
+
+        out_final = out[:, ::-1].copy() if reverse else out
+
+        def backward(grad_out: np.ndarray) -> None:
+            g_out = grad_out[:, ::-1] if reverse else grad_out  # (N, T, H)
+            dz_all = np.empty((T, N, 4 * H), dtype=np.float32)
+            dh_next = np.zeros((N, H), dtype=np.float32)
+            dc_next = np.zeros((N, H), dtype=np.float32)
+            w_hh_T = w_hh.data.T
+            for t in range(T - 1, -1, -1):
+                i = gates[t, :, :H]
+                f = gates[t, :, H : 2 * H]
+                gg = gates[t, :, 2 * H : 3 * H]
+                o = gates[t, :, 3 * H :]
+                tc = tanh_c[t]
+                c_prev = cells[t - 1] if t > 0 else np.zeros((N, H), dtype=np.float32)
+
+                dh = g_out[:, t] + dh_next
+                do = dh * tc
+                dc = dh * o * (1.0 - tc**2) + dc_next
+                di = dc * gg
+                df = dc * c_prev
+                dg = dc * i
+                dz = dz_all[t]
+                dz[:, :H] = di * i * (1.0 - i)
+                dz[:, H : 2 * H] = df * f * (1.0 - f)
+                dz[:, 2 * H : 3 * H] = dg * (1.0 - gg**2)
+                dz[:, 3 * H :] = do * o * (1.0 - o)
+                dh_next = dz @ w_hh_T
+                dc_next = dc * f
+
+            dz_flat = dz_all.transpose(1, 0, 2).reshape(N * T, 4 * H)
+            if w_ih.requires_grad:
+                w_ih._accum(xs.reshape(N * T, -1).T @ dz_flat)
+            if w_hh.requires_grad:
+                hp = h_prev_all.transpose(1, 0, 2).reshape(N * T, H)
+                w_hh._accum(hp.T @ dz_flat)
+            if bias.requires_grad:
+                bias._accum(dz_flat.sum(axis=0))
+            if x.requires_grad:
+                dxs = (dz_flat @ w_ih.data.T).reshape(N, T, -1)
+                x._accum(dxs[:, ::-1] if reverse else dxs)
+
+        return Tensor.from_op(out_final, (x, w_ih, w_hh, bias), backward)
+
+    def last_hidden(self, output: Tensor, reverse: bool = False) -> Tensor:
+        """Final hidden state from a full-sequence output.
+
+        For a reversed pass the "final" state sits at original index 0.
+        """
+        return output[:, 0, :] if reverse else output[:, -1, :]
+
+
+class BiLSTM(Module):
+    """Bidirectional LSTM: forward and reversed passes, concatenated.
+
+    ``forward(x)`` maps ``(N, T, D) → (N, T, 2H)`` (features =
+    [forward_h_t ; backward_h_t]).  ``final_states(out)`` returns the
+    ``(N, 2H)`` concatenation of the two directions' final states — the
+    paper's classification head consumes that.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator | int | None = None,
+    ):
+        super().__init__()
+        rng = as_generator(rng)
+        self.hidden_size = hidden_size
+        self.fw = LSTM(input_size, hidden_size, rng)
+        self.bw = LSTM(input_size, hidden_size, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Compute the layer's output for the given input."""
+        out_f = self.fw(x)
+        out_b = self.bw(x, reverse=True)
+        return Tensor.concatenate([out_f, out_b], axis=2)
+
+    def final_states(self, output: Tensor) -> Tensor:
+        """(N, 2H): forward direction at t=T−1, backward direction at t=0."""
+        H = self.hidden_size
+        fw_last = output[:, -1, :H]
+        bw_last = output[:, 0, H:]
+        return Tensor.concatenate([fw_last, bw_last], axis=1)

@@ -1,0 +1,7 @@
+"""Optimizers and learning-rate schedulers."""
+
+from repro.nn.optim.sgd import SGD
+from repro.nn.optim.adam import Adam
+from repro.nn.optim.schedulers import CyclicCosineLR, ConstantLR, StepLR
+
+__all__ = ["SGD", "Adam", "CyclicCosineLR", "ConstantLR", "StepLR"]

@@ -1,0 +1,71 @@
+"""Stochastic gradient descent with momentum and weight decay."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+__all__ = ["Optimizer", "SGD"]
+
+
+class Optimizer:
+    """Base optimizer: parameter registration and grad clearing."""
+
+    def __init__(self, params, lr: float):
+        self.params: list[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer got no parameters")
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients."""
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        """Apply one optimization update from accumulated gradients."""
+        raise NotImplementedError
+
+    def clip_grad_norm(self, max_norm: float) -> float:
+        """Global-norm gradient clipping; returns the pre-clip norm."""
+        total = 0.0
+        for p in self.params:
+            if p.grad is not None:
+                total += float(np.sum(p.grad.astype(np.float64) ** 2))
+        norm = float(np.sqrt(total))
+        if norm > max_norm > 0:
+            scale = max_norm / (norm + 1e-12)
+            for p in self.params:
+                if p.grad is not None:
+                    p.grad = p.grad * scale
+        return norm
+
+
+class SGD(Optimizer):
+    """Classic SGD: ``v ← μv + g``, ``w ← w − lr·v`` (plus weight decay)."""
+
+    def __init__(self, params, lr: float = 0.01, momentum: float = 0.0,
+                 weight_decay: float = 0.0):
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        """Apply one optimization update from accumulated gradients."""
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.momentum:
+                v *= self.momentum
+                v += g
+                g = v
+            p.data -= self.lr * g

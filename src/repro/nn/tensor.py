@@ -1,0 +1,433 @@
+"""Reverse-mode autograd over NumPy arrays.
+
+A deliberately small engine — just the ops the paper's baselines need
+(dense algebra, pointwise nonlinearities, reductions, shape surgery) — but
+with full broadcasting support and exact gradients, property-tested against
+finite differences in the test suite.
+
+Performance-sensitive layers (LSTM, Conv1d) register as *fused* nodes: one
+graph node whose backward is hand-derived, instead of hundreds of per-op
+nodes per timestep (see :mod:`repro.nn.layers.rnn`).  The glue for that is
+:meth:`Tensor.from_op`.
+
+Default dtype is float32, matching the framework baselines and halving
+memory traffic (the cache-effects guidance).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager disabling graph construction (inference mode)."""
+
+    def __enter__(self):
+        global _GRAD_ENABLED
+        self._prev = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc):
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._prev
+
+
+def is_grad_enabled() -> bool:
+    """Whether graph construction is currently enabled."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` after a broadcast op."""
+    # Sum away prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were 1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad
+
+
+class Tensor:
+    """An ndarray plus gradient bookkeeping.
+
+    Create leaf tensors with ``Tensor(data, requires_grad=True)``; every op
+    returns a non-leaf tensor wired into the graph.  Call ``backward()`` on
+    a scalar result to populate ``grad`` on all reachable leaves.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __array_priority__ = 100  # make ndarray defer to Tensor in mixed ops
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        dtype=np.float32,
+        name: str | None = None,
+    ):
+        self.data = np.asarray(data, dtype=dtype)
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: np.ndarray | None = None
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_op(
+        data: np.ndarray,
+        parents: Iterable["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Create a graph node.
+
+        ``backward(grad_out)`` must *accumulate* into each parent's ``grad``
+        (use ``parent._accum(g)``).  When grad is globally disabled or no
+        parent requires grad, a detached tensor is returned and ``backward``
+        is dropped.
+        """
+        parents = tuple(parents)
+        out = Tensor(data, dtype=data.dtype)
+        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    def _accum(self, grad: np.ndarray) -> None:
+        """Accumulate a gradient contribution (used inside backward fns)."""
+        if not self.requires_grad:
+            return
+        grad = np.asarray(grad, dtype=self.data.dtype)
+        if grad.shape != self.data.shape:
+            grad = _unbroadcast(grad, self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy() if grad.base is not None else grad
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Reverse-mode sweep from this tensor."""
+        if not self.requires_grad:
+            raise RuntimeError("backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError(
+                    f"backward() without grad requires a scalar, got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        # Topological order via iterative DFS.
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for p in node._parents:
+                if p.requires_grad and id(p) not in visited:
+                    stack.append((p, False))
+        self._accum(np.asarray(grad, dtype=self.data.dtype))
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+                # Free intermediate grads/graph for memory hygiene: non-leaf
+                # grads are not part of the public contract.
+                if node._parents:
+                    node.grad = None
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients."""
+        self.grad = None
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but outside the graph."""
+        return Tensor(self.data, dtype=self.data.dtype)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Array shape."""
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of array dimensions."""
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        return self.data.size
+
+    @property
+    def dtype(self):
+        """Element dtype."""
+        return self.data.dtype
+
+    def item(self) -> float:
+        """The single scalar value of this tensor."""
+        return float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """The underlying ndarray (no copy)."""
+        return self.data
+
+    def __len__(self) -> int:
+        return self.data.shape[0]
+
+    def __repr__(self) -> str:
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, dtype={self.dtype}{flag})"
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _wrap(other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def __add__(self, other) -> "Tensor":
+        other = self._wrap(other)
+
+        def backward(g):
+            self._accum(g)
+            other._accum(g)
+
+        return Tensor.from_op(self.data + other.data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(g):
+            self._accum(-g)
+
+        return Tensor.from_op(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-self._wrap(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._wrap(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._wrap(other)
+
+        def backward(g):
+            self._accum(g * other.data)
+            other._accum(g * self.data)
+
+        return Tensor.from_op(self.data * other.data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._wrap(other)
+
+        def backward(g):
+            self._accum(g / other.data)
+            other._accum(-g * self.data / (other.data**2))
+
+        return Tensor.from_op(self.data / other.data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return self._wrap(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use exp/log")
+        exponent = float(exponent)
+
+        def backward(g):
+            self._accum(g * exponent * self.data ** (exponent - 1.0))
+
+        return Tensor.from_op(self.data**exponent, (self,), backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = self._wrap(other)
+        a, b = self.data, other.data
+
+        def backward(g):
+            if a.ndim == 2 and b.ndim == 2:
+                self._accum(g @ b.T)
+                other._accum(a.T @ g)
+            else:  # batched matmul: (..., m, k) @ (..., k, n)
+                self._accum(g @ np.swapaxes(b, -1, -2))
+                other._accum(np.swapaxes(a, -1, -2) @ g)
+
+        return Tensor.from_op(a @ b, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Pointwise nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        """Elementwise exponential."""
+        out_data = np.exp(self.data)
+
+        def backward(g):
+            self._accum(g * out_data)
+
+        return Tensor.from_op(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        """Elementwise natural logarithm."""
+        def backward(g):
+            self._accum(g / self.data)
+
+        return Tensor.from_op(np.log(self.data), (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        """Elementwise hyperbolic tangent."""
+        out_data = np.tanh(self.data)
+
+        def backward(g):
+            self._accum(g * (1.0 - out_data**2))
+
+        return Tensor.from_op(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        """Elementwise logistic sigmoid."""
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(g):
+            self._accum(g * out_data * (1.0 - out_data))
+
+        return Tensor.from_op(out_data, (self,), backward)
+
+    def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
+        """Elementwise leaky rectifier."""
+        mask = self.data > 0
+
+        def backward(g):
+            self._accum(g * np.where(mask, 1.0, negative_slope))
+
+        return Tensor.from_op(
+            np.where(mask, self.data, negative_slope * self.data), (self,), backward
+        )
+
+    def relu(self) -> "Tensor":
+        """Elementwise rectifier."""
+        return self.leaky_relu(0.0)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Sum over all elements or along ``axis``."""
+        def backward(g):
+            if axis is None:
+                self._accum(np.broadcast_to(g, self.data.shape))
+            else:
+                g_exp = g if keepdims else np.expand_dims(g, axis)
+                self._accum(np.broadcast_to(g_exp, self.data.shape))
+
+        return Tensor.from_op(
+            self.data.sum(axis=axis, keepdims=keepdims), (self,), backward
+        )
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Arithmetic mean over all elements or along ``axis``."""
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int, keepdims: bool = False) -> "Tensor":
+        """Max along one axis; gradient flows to the (first) argmax."""
+        out_data = self.data.max(axis=axis, keepdims=True)
+        mask = self.data == out_data
+        # Split ties evenly so gradcheck stays clean.
+        mask = mask / mask.sum(axis=axis, keepdims=True)
+
+        def backward(g):
+            g_exp = g if keepdims else np.expand_dims(g, axis)
+            self._accum(mask * g_exp)
+
+        final = out_data if keepdims else out_data.squeeze(axis=axis)
+        return Tensor.from_op(final, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Shape surgery
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        """View with a new shape (gradient reshaped back)."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        orig = self.data.shape
+
+        def backward(g):
+            self._accum(g.reshape(orig))
+
+        return Tensor.from_op(self.data.reshape(shape), (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        """Permute axes (reversed order when none given)."""
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        inverse = np.argsort(axes)
+
+        def backward(g):
+            self._accum(g.transpose(inverse))
+
+        return Tensor.from_op(self.data.transpose(axes), (self,), backward)
+
+    def __getitem__(self, key) -> "Tensor":
+        def backward(g):
+            full = np.zeros_like(self.data)
+            np.add.at(full, key, g)
+            self._accum(full)
+
+        return Tensor.from_op(self.data[key], (self,), backward)
+
+    @staticmethod
+    def concatenate(tensors: list["Tensor"], axis: int = 0) -> "Tensor":
+        """Join tensors along an existing axis."""
+        tensors = [Tensor._wrap(t) for t in tensors]
+        sizes = [t.data.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(g):
+            for t, lo, hi in zip(tensors, offsets[:-1], offsets[1:]):
+                sl = [slice(None)] * g.ndim
+                sl[axis] = slice(lo, hi)
+                t._accum(g[tuple(sl)])
+
+        return Tensor.from_op(
+            np.concatenate([t.data for t in tensors], axis=axis), tensors, backward
+        )
+
+    @staticmethod
+    def stack(tensors: list["Tensor"], axis: int = 0) -> "Tensor":
+        """Join tensors along a new axis."""
+        tensors = [Tensor._wrap(t) for t in tensors]
+
+        def backward(g):
+            for i, t in enumerate(tensors):
+                t._accum(np.take(g, i, axis=axis))
+
+        return Tensor.from_op(
+            np.stack([t.data for t in tensors], axis=axis), tensors, backward
+        )

@@ -1,0 +1,5 @@
+"""Training loop utilities."""
+
+from repro.nn.training.trainer import EpochStats, Trainer, TrainingHistory
+
+__all__ = ["Trainer", "TrainingHistory", "EpochStats"]

@@ -1,0 +1,191 @@
+"""Mini-batch trainer with early stopping.
+
+Implements the paper's protocol (Section V-A): train up to ``max_epochs``,
+step a (cyclical cosine) LR schedule per epoch, early-stop when validation
+accuracy has not improved for ``patience`` epochs, and report the *best*
+validation accuracy ("we report the best validation accuracy in our
+results").  The best-epoch weights are restored on finish.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.optim.sgd import Optimizer
+from repro.nn.tensor import Tensor, no_grad
+from repro.utils.rng import as_generator
+
+__all__ = ["EpochStats", "TrainingHistory", "Trainer"]
+
+
+@dataclass(frozen=True)
+class EpochStats:
+    """Metrics recorded for one training epoch."""
+
+    epoch: int
+    train_loss: float
+    val_accuracy: float
+    lr: float
+    seconds: float
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch statistics of one training run."""
+
+    epochs: list[EpochStats] = field(default_factory=list)
+
+    def append(self, stats: EpochStats) -> None:
+        """Add one entry."""
+        self.epochs.append(stats)
+
+    @property
+    def best_val_accuracy(self) -> float:
+        """Highest validation accuracy across epochs."""
+        if not self.epochs:
+            return float("nan")
+        return max(e.val_accuracy for e in self.epochs)
+
+    @property
+    def best_epoch(self) -> int:
+        """Epoch index (1-based) of the best validation accuracy."""
+        best = max(self.epochs, key=lambda e: e.val_accuracy)
+        return best.epoch
+
+    def train_losses(self) -> np.ndarray:
+        """Per-epoch mean training losses."""
+        return np.array([e.train_loss for e in self.epochs])
+
+    def val_accuracies(self) -> np.ndarray:
+        """Per-epoch validation accuracies."""
+        return np.array([e.val_accuracy for e in self.epochs])
+
+
+class Trainer:
+    """Drives one classifier model through training with early stopping.
+
+    The model must map a ``(N, T, D)`` input tensor to ``(N, K)``
+    log-probabilities, and ``loss_fn(log_probs, targets)`` must return a
+    scalar :class:`Tensor`.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        optimizer: Optimizer,
+        loss_fn,
+        scheduler=None,
+        batch_size: int = 32,
+        max_epochs: int = 100,
+        patience: int = 20,
+        grad_clip: float = 5.0,
+        shuffle_rng: int | np.random.Generator | None = 0,
+        verbose: bool = False,
+    ):
+        if batch_size < 1 or max_epochs < 1 or patience < 1:
+            raise ValueError("batch_size, max_epochs and patience must be >= 1")
+        self.model = model
+        self.optimizer = optimizer
+        self.loss_fn = loss_fn
+        self.scheduler = scheduler
+        self.batch_size = batch_size
+        self.max_epochs = max_epochs
+        self.patience = patience
+        self.grad_clip = grad_clip
+        self.shuffle_rng = as_generator(shuffle_rng)
+        self.verbose = verbose
+
+    # ------------------------------------------------------------------
+    def predict_log_probs(self, X: np.ndarray) -> np.ndarray:
+        """Batched inference (no graph construction)."""
+        self.model.eval()
+        outs = []
+        with no_grad():
+            for start in range(0, X.shape[0], self.batch_size):
+                xb = Tensor(X[start : start + self.batch_size])
+                outs.append(self.model(xb).data)
+        return np.concatenate(outs, axis=0)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict class labels for X."""
+        return np.argmax(self.predict_log_probs(X), axis=1)
+
+    def evaluate_accuracy(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy of current model predictions on (X, y)."""
+        return float(np.mean(self.predict(X) == np.asarray(y)))
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        X_train: np.ndarray,
+        y_train: np.ndarray,
+        X_val: np.ndarray,
+        y_val: np.ndarray,
+    ) -> TrainingHistory:
+        """Fit to training data; returns self."""
+        X_train = np.asarray(X_train, dtype=np.float32)
+        X_val = np.asarray(X_val, dtype=np.float32)
+        y_train = np.asarray(y_train, dtype=np.int64)
+        y_val = np.asarray(y_val, dtype=np.int64)
+        n = X_train.shape[0]
+        if n != y_train.shape[0]:
+            raise ValueError("X_train and y_train disagree on sample count")
+
+        history = TrainingHistory()
+        best_acc = -np.inf
+        best_state = None
+        stale = 0
+
+        for epoch in range(1, self.max_epochs + 1):
+            tic = time.perf_counter()
+            self.model.train()
+            order = self.shuffle_rng.permutation(n)
+            total_loss = 0.0
+            n_batches = 0
+            for start in range(0, n, self.batch_size):
+                idx = order[start : start + self.batch_size]
+                xb = Tensor(X_train[idx])
+                log_probs = self.model(xb)
+                loss = self.loss_fn(log_probs, y_train[idx])
+                self.optimizer.zero_grad()
+                loss.backward()
+                if self.grad_clip > 0:
+                    self.optimizer.clip_grad_norm(self.grad_clip)
+                self.optimizer.step()
+                total_loss += loss.item()
+                n_batches += 1
+
+            val_acc = self.evaluate_accuracy(X_val, y_val)
+            lr = self.optimizer.lr
+            if self.scheduler is not None:
+                self.scheduler.step()
+            stats = EpochStats(
+                epoch=epoch,
+                train_loss=total_loss / max(n_batches, 1),
+                val_accuracy=val_acc,
+                lr=lr,
+                seconds=time.perf_counter() - tic,
+            )
+            history.append(stats)
+            if self.verbose:
+                print(
+                    f"[epoch {epoch:3d}] loss={stats.train_loss:.4f} "
+                    f"val_acc={val_acc:.4f} lr={lr:.2e} ({stats.seconds:.1f}s)"
+                )
+
+            if val_acc > best_acc:
+                best_acc = val_acc
+                best_state = self.model.state_dict()
+                stale = 0
+            else:
+                stale += 1
+                if stale >= self.patience:
+                    break
+
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        return history

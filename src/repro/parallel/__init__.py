@@ -1,0 +1,19 @@
+"""HPC-parallel execution substrate.
+
+Single-node process parallelism for embarrassingly parallel stages (grid
+search candidates, per-job telemetry generation).  Design follows the
+mpi4py/NumPy guidance for Python parallelism:
+
+* work units communicate NumPy arrays, not rich objects, where possible;
+* large read-only inputs can be placed in POSIX shared memory once and
+  mapped zero-copy by workers (:mod:`repro.parallel.shared`);
+* results are deterministic and independent of scheduling order, because
+  every unit carries its own seed/stream (see :mod:`repro.utils.rng`).
+
+On a 1-core machine everything degrades gracefully to serial execution.
+"""
+
+from repro.parallel.pool import effective_n_jobs, parallel_map
+from repro.parallel.shared import SharedArray, shared_from_array
+
+__all__ = ["parallel_map", "effective_n_jobs", "SharedArray", "shared_from_array"]

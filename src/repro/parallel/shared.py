@@ -1,0 +1,101 @@
+"""Zero-copy shared NumPy arrays over POSIX shared memory.
+
+For fan-out over a large read-only design matrix (e.g. a challenge tensor),
+pickling the array to every worker doubles memory and dominates wall-clock.
+:class:`SharedArray` places the data in ``multiprocessing.shared_memory``
+once; workers attach by name and view it as an ndarray without copying.
+
+Usage::
+
+    shared = shared_from_array(X)          # parent: copy in, once
+    handle = shared.handle()               # small picklable descriptor
+    # in worker:
+    X_view = handle.attach()               # zero-copy ndarray view
+    ...
+    shared.close(unlink=True)              # parent: release when done
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["SharedArray", "SharedArrayHandle", "shared_from_array"]
+
+
+@dataclass(frozen=True)
+class SharedArrayHandle:
+    """Picklable descriptor a worker uses to attach to the shared block."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+    def attach(self) -> np.ndarray:
+        """Map the shared block and return an ndarray view (no copy).
+
+        The returned array keeps a reference to the mapping alive via its
+        ``base`` attribute; it becomes invalid after the owner unlinks and
+        all views are dropped.
+        """
+        shm = shared_memory.SharedMemory(name=self.name)
+        arr = np.ndarray(self.shape, dtype=np.dtype(self.dtype), buffer=shm.buf)
+        # Keep the SharedMemory object alive as long as the array is: plain
+        # ndarrays cannot hold attributes, so hand back a trivial subclass.
+        view = arr.view(_SharedView)
+        view._shm_ref = shm
+        return view
+
+
+class _SharedView(np.ndarray):
+    """ndarray view that pins its backing SharedMemory mapping."""
+
+    _shm_ref: shared_memory.SharedMemory | None = None
+
+
+class SharedArray:
+    """Owner-side wrapper for a shared-memory ndarray."""
+
+    def __init__(self, shape: tuple[int, ...], dtype) -> None:
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape)) * dtype.itemsize
+        if nbytes <= 0:
+            raise ValueError(f"cannot share empty array of shape {shape}")
+        self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        self.array = np.ndarray(shape, dtype=dtype, buffer=self._shm.buf)
+        self._closed = False
+
+    def handle(self) -> SharedArrayHandle:
+        """Picklable descriptor for attaching from another process."""
+        if self._closed:
+            raise RuntimeError("shared array already closed")
+        return SharedArrayHandle(
+            name=self._shm.name,
+            shape=tuple(self.array.shape),
+            dtype=self.array.dtype.str,
+        )
+
+    def close(self, unlink: bool = True) -> None:
+        """Release the mapping; with ``unlink`` also destroy the block."""
+        if self._closed:
+            return
+        self._closed = True
+        del self.array
+        self._shm.close()
+        if unlink:
+            self._shm.unlink()
+
+    def __enter__(self) -> "SharedArray":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close(unlink=True)
+
+
+def shared_from_array(arr: np.ndarray) -> SharedArray:
+    """Copy ``arr`` into a new shared block (one copy, then zero-copy use)."""
+    shared = SharedArray(tuple(arr.shape), arr.dtype)
+    shared.array[...] = arr
+    return shared

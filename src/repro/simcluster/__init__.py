@@ -1,0 +1,92 @@
+"""TX-Gaia-like datacenter telemetry simulator.
+
+This package is the substitute for the MIT Supercloud *labelled dataset*
+(2 GB of real monitoring logs, download-gated).  It synthesizes per-job GPU
+and CPU telemetry for the 26 deep-learning architecture classes listed in
+Tables I and VII–IX of the paper, with the mechanisms that give the real
+classification problem its structure:
+
+* class-conditional steady-state signatures (utilization level, step and
+  epoch periodicity, memory footprint, power efficiency),
+* a *generic* startup / data-loading phase shared across classes — the
+  reason the ``60-start-1`` dataset is the hardest in Tables V and VI,
+* epoch-boundary dips, checkpoint stalls and sensor noise,
+* first-order V100 power/thermal dynamics,
+* multi-node / multi-GPU job expansion (one labelled series per GPU, so the
+  number of GPU series exceeds the number of jobs, as in the paper), and
+* Slurm-like scheduler-log records with anonymized identities.
+
+The top-level entry point is :class:`ClusterSimulator`.
+"""
+
+from repro.simcluster.architectures import (
+    ARCHITECTURES,
+    ArchitectureSpec,
+    Family,
+    architecture_names,
+    class_index,
+    get_architecture,
+    job_count_table,
+)
+from repro.simcluster.sensors import (
+    CPU_METRICS,
+    GPU_SENSORS,
+    N_CPU_METRICS,
+    N_GPU_SENSORS,
+    SensorSpec,
+    gpu_sensor_index,
+)
+from repro.simcluster.signatures import SignatureParams, signature_for
+from repro.simcluster.phases import Phase, PhaseKind, PhaseSchedule, build_phase_schedule
+from repro.simcluster.gpu import GpuModel, V100_SPEC, GpuSpec
+from repro.simcluster.node import NodeSpec, TX_GAIA_GPU_NODE
+from repro.simcluster.workload import WorkloadGenerator, GpuSeries, JobTelemetry
+from repro.simcluster.cpu_model import CpuModel
+from repro.simcluster.filesystem import FS_COUNTER_NAMES, FsCounters, FsModel
+from repro.simcluster.nodestate import ClusterStateSeries, NodeSnapshot, snapshot_cluster
+from repro.simcluster.scheduler import JobRecord, SchedulerLog
+from repro.simcluster.anonymize import anonymize_id
+from repro.simcluster.cluster import ClusterSimulator, SimulationConfig, SimulatedJob
+
+__all__ = [
+    "ARCHITECTURES",
+    "ArchitectureSpec",
+    "Family",
+    "architecture_names",
+    "class_index",
+    "get_architecture",
+    "job_count_table",
+    "GPU_SENSORS",
+    "CPU_METRICS",
+    "N_GPU_SENSORS",
+    "N_CPU_METRICS",
+    "SensorSpec",
+    "gpu_sensor_index",
+    "SignatureParams",
+    "signature_for",
+    "Phase",
+    "PhaseKind",
+    "PhaseSchedule",
+    "build_phase_schedule",
+    "GpuModel",
+    "GpuSpec",
+    "V100_SPEC",
+    "NodeSpec",
+    "TX_GAIA_GPU_NODE",
+    "WorkloadGenerator",
+    "GpuSeries",
+    "JobTelemetry",
+    "CpuModel",
+    "FS_COUNTER_NAMES",
+    "FsCounters",
+    "FsModel",
+    "JobRecord",
+    "SchedulerLog",
+    "ClusterStateSeries",
+    "NodeSnapshot",
+    "snapshot_cluster",
+    "anonymize_id",
+    "ClusterSimulator",
+    "SimulationConfig",
+    "SimulatedJob",
+]

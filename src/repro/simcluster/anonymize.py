@@ -1,0 +1,33 @@
+"""Identity anonymization, mirroring the released dataset's scrubbing.
+
+The MIT Supercloud release removes or hashes all identifiable fields.  We
+apply the same policy to the simulator's synthetic user/job identities so
+the scheduler-log schema matches the public release.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["anonymize_id"]
+
+
+def anonymize_id(raw: str, *, salt: str = "mit-supercloud-dcc", length: int = 16) -> str:
+    """Deterministically hash an identity string.
+
+    Parameters
+    ----------
+    raw:
+        The raw identity (user name, account, job script path, ...).
+    salt:
+        Release-wide salt; one salt per release keeps hashes linkable within
+        a release but not across releases.
+    length:
+        Hex digits kept (16 default, ample for a few thousand identities).
+    """
+    if not raw:
+        raise ValueError("cannot anonymize an empty identity")
+    if length < 4 or length > 64:
+        raise ValueError(f"length must be in [4, 64], got {length}")
+    digest = hashlib.sha256(f"{salt}:{raw}".encode("utf-8")).hexdigest()
+    return digest[:length]

@@ -1,0 +1,134 @@
+"""Registry of the 26 labelled architecture classes.
+
+The class list and per-class job counts come from Tables VII, VIII and IX of
+the paper; family totals match Table I (e.g. U-Net's nine sub-architectures
+sum to 1,431 jobs).  Class *indices* are assigned in the registry order
+below, which groups families the same way the paper's appendix does.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "Family",
+    "ArchitectureSpec",
+    "ARCHITECTURES",
+    "architecture_names",
+    "class_index",
+    "get_architecture",
+    "job_count_table",
+    "N_CLASSES",
+]
+
+
+class Family(enum.Enum):
+    """Model family groupings used in Table I."""
+
+    VGG = "VGG"
+    RESNET = "ResNet"
+    INCEPTION = "Inception"
+    UNET = "U-Net"
+    NLP = "NLP"
+    GNN = "GNN"
+
+
+@dataclass(frozen=True)
+class ArchitectureSpec:
+    """One labelled class.
+
+    Attributes
+    ----------
+    name:
+        Class name as it appears in ``model_train`` / ``model_test``.
+    family:
+        Table I family.
+    paper_job_count:
+        Number of labelled jobs of this class in the real dataset
+        (Tables VII–IX); the simulator samples per-class job counts
+        proportional to these.
+    relative_size:
+        Rough relative compute footprint within the family (drives the
+        signature parameters: bigger variants → higher utilization, larger
+        memory footprint, longer steps).
+    """
+
+    name: str
+    family: Family
+    paper_job_count: int
+    relative_size: float
+
+
+#: All 26 labelled classes, appendix order (VGG, Inception, ResNet, U-Net, NLP, GNN).
+ARCHITECTURES: tuple[ArchitectureSpec, ...] = (
+    # Table VII — VGG
+    ArchitectureSpec("VGG11", Family.VGG, 185, 0.55),
+    ArchitectureSpec("VGG16", Family.VGG, 176, 0.80),
+    ArchitectureSpec("VGG19", Family.VGG, 199, 1.00),
+    # Table VII — Inception
+    ArchitectureSpec("Inception3", Family.INCEPTION, 241, 0.70),
+    ArchitectureSpec("Inception4", Family.INCEPTION, 243, 1.00),
+    # Table VIII — ResNet
+    ArchitectureSpec("ResNet50", Family.RESNET, 111, 0.45),
+    ArchitectureSpec("ResNet50_v1.5", Family.RESNET, 91, 0.50),
+    ArchitectureSpec("ResNet101", Family.RESNET, 77, 0.70),
+    ArchitectureSpec("ResNet101_v2", Family.RESNET, 54, 0.75),
+    ArchitectureSpec("ResNet152", Family.RESNET, 76, 0.95),
+    ArchitectureSpec("ResNet152_v2", Family.RESNET, 54, 1.00),
+    # Table VIII — U-Net (U<depth>-<filters>)
+    ArchitectureSpec("U3-32", Family.UNET, 165, 0.30),
+    ArchitectureSpec("U3-64", Family.UNET, 159, 0.45),
+    ArchitectureSpec("U3-128", Family.UNET, 165, 0.65),
+    ArchitectureSpec("U4-32", Family.UNET, 163, 0.40),
+    ArchitectureSpec("U4-64", Family.UNET, 158, 0.60),
+    ArchitectureSpec("U4-128", Family.UNET, 157, 0.80),
+    ArchitectureSpec("U5-32", Family.UNET, 158, 0.50),
+    ArchitectureSpec("U5-64", Family.UNET, 158, 0.75),
+    ArchitectureSpec("U5-128", Family.UNET, 148, 1.00),
+    # NLP — Table I counts (189/172).  Table IX disagrees (185/241); only
+    # the Table I numbers make the total match the stated 3,430 jobs, so we
+    # treat Table IX's NLP column as a typo.
+    ArchitectureSpec("Bert", Family.NLP, 189, 1.00),
+    ArchitectureSpec("DistillBert", Family.NLP, 172, 0.55),
+    # Table IX — GNN
+    ArchitectureSpec("Dimenet", Family.GNN, 33, 1.00),
+    ArchitectureSpec("Schnet", Family.GNN, 39, 0.60),
+    ArchitectureSpec("PNA", Family.GNN, 27, 0.80),
+    ArchitectureSpec("NNConv", Family.GNN, 32, 0.40),
+)
+
+N_CLASSES = len(ARCHITECTURES)
+
+_BY_NAME = {spec.name: i for i, spec in enumerate(ARCHITECTURES)}
+
+
+def architecture_names() -> list[str]:
+    """All class names in label-index order."""
+    return [spec.name for spec in ARCHITECTURES]
+
+
+def class_index(name: str) -> int:
+    """Integer label for a class name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown architecture {name!r}") from None
+
+
+def get_architecture(name_or_index: str | int) -> ArchitectureSpec:
+    """Look up an :class:`ArchitectureSpec` by name or label index."""
+    if isinstance(name_or_index, str):
+        return ARCHITECTURES[class_index(name_or_index)]
+    idx = int(name_or_index)
+    if not 0 <= idx < N_CLASSES:
+        raise IndexError(f"class index {idx} out of range [0, {N_CLASSES})")
+    return ARCHITECTURES[idx]
+
+
+def job_count_table() -> dict[str, dict[str, int]]:
+    """Reconstruct Table I: per-family job totals keyed by family then class."""
+    table: dict[str, dict[str, int]] = {}
+    for spec in ARCHITECTURES:
+        table.setdefault(spec.family.value, {})[spec.name] = spec.paper_job_count
+    return table

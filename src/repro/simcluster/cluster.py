@@ -1,0 +1,184 @@
+"""Whole-cluster simulation driver.
+
+:class:`ClusterSimulator` generates the labelled-dataset substitute: for
+each of the 26 architecture classes it samples jobs (count proportional to
+the paper's Tables VII–IX job counts), gives each job a duration, node/GPU
+allocation and identity, and synthesizes GPU (and optionally CPU) telemetry.
+
+Determinism: every job draws from its own named random stream derived from
+the config seed (see :class:`repro.utils.SeedSequenceFactory`), so the i-th
+job of class c is bit-identical no matter the generation order — the
+property that lets the parallel generation path produce the same dataset as
+the serial one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simcluster.architectures import ARCHITECTURES, ArchitectureSpec
+from repro.simcluster.cpu_model import CpuModel, CpuSeries, DEFAULT_CPU_DT_S
+from repro.simcluster.filesystem import DEFAULT_FS_DT_S, FsCounters, FsModel
+from repro.simcluster.scheduler import JobRecord, SchedulerLog
+from repro.simcluster.workload import (
+    DEFAULT_DT_S,
+    GpuSeries,
+    JobTelemetry,
+    WorkloadGenerator,
+)
+from repro.utils.rng import SeedSequenceFactory
+
+__all__ = ["SimulationConfig", "SimulatedJob", "ClusterSimulator"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Knobs of one simulated labelled-dataset release.
+
+    Attributes
+    ----------
+    seed:
+        Root seed; every number in the release derives from it.
+    trials_scale:
+        Multiplier on the paper's per-class job counts.  ``1.0`` reproduces
+        the 3,430-job release; the default ``0.02`` yields a ~70-job release
+        that the full test suite can regenerate in seconds.
+    min_jobs_per_class:
+        Floor on per-class job counts after scaling (keeps the rare GNN
+        classes represented at small scales).
+    duration_lognorm_mean_s / duration_lognorm_sigma:
+        Job durations are log-normal (heavy right tail, like real queue
+        traces), clipped to ``duration_clip_s``.
+    gpus_per_job_choices / gpus_per_job_probs:
+        Distribution over total GPUs per job.  Multi-GPU jobs contribute one
+        labelled series per GPU, so the series count exceeds the job count
+        (paper: >17k series from 3,430 jobs).
+    """
+
+    seed: int = 2022
+    trials_scale: float = 0.02
+    min_jobs_per_class: int = 3
+    duration_lognorm_mean_s: float = 300.0
+    duration_lognorm_sigma: float = 0.35
+    duration_clip_s: tuple[float, float] = (150.0, 1200.0)
+    gpus_per_job_choices: tuple[int, ...] = (1, 2, 4)
+    gpus_per_job_probs: tuple[float, ...] = (0.70, 0.20, 0.10)
+    gpus_per_node: int = 2
+    dt_s: float = DEFAULT_DT_S
+    cpu_dt_s: float = DEFAULT_CPU_DT_S
+    fs_dt_s: float = DEFAULT_FS_DT_S
+    startup_mean_s: float = 40.0
+    generate_cpu: bool = True
+    generate_fs: bool = False
+
+    def __post_init__(self):
+        if self.trials_scale <= 0:
+            raise ValueError(f"trials_scale must be positive, got {self.trials_scale}")
+        if self.min_jobs_per_class < 1:
+            raise ValueError("min_jobs_per_class must be >= 1")
+        if len(self.gpus_per_job_choices) != len(self.gpus_per_job_probs):
+            raise ValueError("gpus_per_job_choices and probs must align")
+        if abs(sum(self.gpus_per_job_probs) - 1.0) > 1e-9:
+            raise ValueError("gpus_per_job_probs must sum to 1")
+        lo, hi = self.duration_clip_s
+        if not 0 < lo < hi:
+            raise ValueError(f"invalid duration_clip_s {self.duration_clip_s}")
+
+    def jobs_for_class(self, spec: ArchitectureSpec) -> int:
+        """Scaled job count for one class."""
+        return max(self.min_jobs_per_class,
+                   int(round(spec.paper_job_count * self.trials_scale)))
+
+    def total_jobs(self) -> int:
+        """Total jobs across all classes at this scale."""
+        return sum(self.jobs_for_class(s) for s in ARCHITECTURES)
+
+
+@dataclass
+class SimulatedJob:
+    """One labelled job: scheduler record plus telemetry."""
+
+    record: JobRecord
+    gpu_series: list[GpuSeries]
+    cpu_series: CpuSeries | None = None
+    fs_counters: FsCounters | None = None
+
+    @property
+    def label(self) -> int:
+        """The job's class label."""
+        return self.record.class_label
+
+    @property
+    def architecture(self) -> str:
+        """The job's architecture class name."""
+        return self.record.architecture
+
+
+class ClusterSimulator:
+    """Generates a full labelled-dataset release."""
+
+    def __init__(self, config: SimulationConfig | None = None):
+        self.config = config if config is not None else SimulationConfig()
+        self._workload = WorkloadGenerator(
+            dt_s=self.config.dt_s, startup_mean_s=self.config.startup_mean_s
+        )
+        self._cpu = CpuModel(dt_s=self.config.cpu_dt_s)
+        self._fs = FsModel(dt_s=self.config.fs_dt_s)
+        self._seeds = SeedSequenceFactory(self.config.seed)
+
+    # ------------------------------------------------------------------
+    def job_plan(self) -> list[tuple[int, ArchitectureSpec]]:
+        """Deterministic (job_id, class) plan for the whole release."""
+        plan: list[tuple[int, ArchitectureSpec]] = []
+        job_id = 0
+        for spec in ARCHITECTURES:
+            for _ in range(self.config.jobs_for_class(spec)):
+                plan.append((job_id, spec))
+                job_id += 1
+        return plan
+
+    def generate_one(self, job_id: int, spec: ArchitectureSpec) -> SimulatedJob:
+        """Generate a single job's record and telemetry (order-independent)."""
+        rng = self._seeds.stream(f"job-{job_id:06d}")
+        cfg = self.config
+
+        duration = float(np.clip(
+            rng.lognormal(np.log(cfg.duration_lognorm_mean_s), cfg.duration_lognorm_sigma),
+            *cfg.duration_clip_s,
+        ))
+        n_gpus = int(rng.choice(cfg.gpus_per_job_choices, p=cfg.gpus_per_job_probs))
+        gpn = min(cfg.gpus_per_node, n_gpus)
+        n_nodes = -(-n_gpus // gpn)  # ceil division
+
+        record = SchedulerLog.make_record(
+            job_id=job_id,
+            architecture=spec.name,
+            class_label=ARCHITECTURES.index(spec),
+            duration_s=duration,
+            rng=rng,
+            n_nodes=n_nodes,
+            gpus_per_node=gpn,
+        )
+        telemetry: JobTelemetry = self._workload.generate_job(
+            spec, duration, rng, n_gpus=n_gpus
+        )
+        cpu = None
+        if cfg.generate_cpu:
+            cpu = self._cpu.generate(telemetry.signature, telemetry.schedule, rng)
+        fs = None
+        if cfg.generate_fs:
+            fs = self._fs.generate(telemetry.signature, telemetry.schedule, rng)
+        return SimulatedJob(record=record, gpu_series=telemetry.gpu_series,
+                            cpu_series=cpu, fs_counters=fs)
+
+    def generate(self) -> tuple[list[SimulatedJob], SchedulerLog]:
+        """Generate the whole release serially."""
+        log = SchedulerLog()
+        jobs: list[SimulatedJob] = []
+        for job_id, spec in self.job_plan():
+            job = self.generate_one(job_id, spec)
+            jobs.append(job)
+            log.append(job.record)
+        return jobs, log

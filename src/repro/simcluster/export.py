@@ -1,0 +1,106 @@
+"""Export simulated releases in MIT-Supercloud-style CSV file layouts.
+
+The real dataset ships monitoring logs as per-subsystem CSV files (GPU
+telemetry, CPU/slurm profiling, scheduler accounting).  This module writes
+the simulator's output in analogous layouts, so tooling written against the
+real release's files can be exercised on synthetic data:
+
+* ``scheduler.csv`` — one anonymized accounting row per job;
+* ``gpu/<job>-<gpu>.csv`` — timestamped 7-sensor GPU telemetry;
+* ``cpu/<job>.csv`` — timestamped Table II CPU metrics.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.simcluster.cluster import SimulatedJob
+from repro.simcluster.filesystem import FS_COUNTER_NAMES
+from repro.simcluster.scheduler import SchedulerLog
+from repro.simcluster.sensors import CPU_METRICS, GPU_SENSORS
+
+__all__ = ["export_scheduler_log", "export_job_telemetry", "export_release"]
+
+SCHEDULER_COLUMNS = (
+    "job_id", "user_hash", "architecture", "class_label", "n_nodes",
+    "gpus_per_node", "submit_time_s", "start_time_s", "end_time_s",
+    "exit_code",
+)
+
+
+def export_scheduler_log(log: SchedulerLog, path: str | Path) -> Path:
+    """Write the anonymized accounting log as one CSV."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(SCHEDULER_COLUMNS)
+        for rec in log:
+            writer.writerow([
+                rec.job_id, rec.user_hash, rec.architecture, rec.class_label,
+                rec.n_nodes, rec.gpus_per_node,
+                f"{rec.submit_time_s:.3f}", f"{rec.start_time_s:.3f}",
+                f"{rec.end_time_s:.3f}", rec.exit_code,
+            ])
+    return path
+
+
+def _write_series(path: Path, header: list[str], t: np.ndarray,
+                  data: np.ndarray) -> None:
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["timestamp_s", *header])
+        for row_t, row in zip(t, data):
+            writer.writerow([f"{row_t:.3f}", *(f"{v:.4f}" for v in row)])
+
+
+def export_job_telemetry(job: SimulatedJob, directory: str | Path) -> list[Path]:
+    """Write one job's GPU (per device) and CPU series as CSVs."""
+    directory = Path(directory)
+    gpu_dir = directory / "gpu"
+    cpu_dir = directory / "cpu"
+    gpu_dir.mkdir(parents=True, exist_ok=True)
+    cpu_dir.mkdir(parents=True, exist_ok=True)
+
+    paths: list[Path] = []
+    gpu_header = [s.name for s in GPU_SENSORS]
+    for gs in job.gpu_series:
+        path = gpu_dir / f"{job.record.job_id:06d}-gpu{gs.gpu_index}.csv"
+        t = job.record.start_time_s + np.arange(gs.n_samples) * gs.dt_s
+        _write_series(path, gpu_header, t, gs.data)
+        paths.append(path)
+    if job.cpu_series is not None:
+        path = cpu_dir / f"{job.record.job_id:06d}.csv"
+        t = job.record.start_time_s + np.arange(
+            job.cpu_series.n_samples) * job.cpu_series.dt_s
+        _write_series(path, [m.name for m in CPU_METRICS], t,
+                      job.cpu_series.data)
+        paths.append(path)
+    if job.fs_counters is not None:
+        fs_dir = directory / "fsio"
+        fs_dir.mkdir(parents=True, exist_ok=True)
+        path = fs_dir / f"{job.record.job_id:06d}.csv"
+        t = job.record.start_time_s + np.arange(
+            job.fs_counters.n_samples) * job.fs_counters.dt_s
+        _write_series(path, list(FS_COUNTER_NAMES), t, job.fs_counters.data)
+        paths.append(path)
+    return paths
+
+
+def export_release(
+    jobs: list[SimulatedJob], log: SchedulerLog, directory: str | Path
+) -> dict[str, int]:
+    """Write a whole release; returns file counts per subsystem."""
+    directory = Path(directory)
+    export_scheduler_log(log, directory / "scheduler.csv")
+    n_gpu = n_cpu = n_fs = 0
+    for job in jobs:
+        export_job_telemetry(job, directory)
+        n_gpu += len(job.gpu_series)
+        n_cpu += int(job.cpu_series is not None)
+        n_fs += int(job.fs_counters is not None)
+    return {"scheduler": 1, "gpu_series": n_gpu, "cpu_series": n_cpu,
+            "fs_series": n_fs}

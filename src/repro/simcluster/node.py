@@ -1,0 +1,55 @@
+"""Compute-node hardware description (TX-Gaia, Section II-A)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simcluster.gpu import GpuSpec, V100_SPEC
+
+__all__ = ["NodeSpec", "TX_GAIA_GPU_NODE", "TX_GAIA_CPU_NODE"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One node type in the cluster.
+
+    TX-Gaia's GPU partition has 224 nodes, each with two 20-core Intel Xeon
+    Gold 6248 processors, 384 GB of RAM, and two 32 GB V100s.
+    """
+
+    name: str
+    n_sockets: int
+    cores_per_socket: int
+    ram_gib: float
+    gpus_per_node: int
+    gpu: GpuSpec | None
+    base_freq_mhz: float
+    turbo_freq_mhz: float
+
+    @property
+    def total_cores(self) -> int:
+        """Total CPU cores on the node."""
+        return self.n_sockets * self.cores_per_socket
+
+
+TX_GAIA_GPU_NODE = NodeSpec(
+    name="txgaia-gpu",
+    n_sockets=2,
+    cores_per_socket=20,
+    ram_gib=384.0,
+    gpus_per_node=2,
+    gpu=V100_SPEC,
+    base_freq_mhz=2500.0,
+    turbo_freq_mhz=3900.0,
+)
+
+TX_GAIA_CPU_NODE = NodeSpec(
+    name="txgaia-cpu",
+    n_sockets=2,
+    cores_per_socket=20,
+    ram_gib=384.0,
+    gpus_per_node=0,
+    gpu=None,
+    base_freq_mhz=2500.0,
+    turbo_freq_mhz=3900.0,
+)

@@ -1,0 +1,113 @@
+"""Slurm-like scheduler-log records.
+
+The MIT Supercloud dataset ships the cluster scheduler log alongside the
+telemetry.  For the classification challenge the log is metadata (job →
+node/GPU mapping, timing, exit status); we generate records with the same
+fields so the labelled-dataset builder can join series to jobs exactly as
+one would with the real release.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.simcluster.anonymize import anonymize_id
+
+__all__ = ["JobRecord", "SchedulerLog"]
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One scheduler-log row (anonymized)."""
+
+    job_id: int
+    user_hash: str
+    architecture: str
+    class_label: int
+    n_nodes: int
+    gpus_per_node: int
+    submit_time_s: float
+    start_time_s: float
+    end_time_s: float
+    exit_code: int = 0
+
+    @property
+    def n_gpus(self) -> int:
+        """Total GPUs allocated to the job."""
+        return self.n_nodes * self.gpus_per_node
+
+    @property
+    def duration_s(self) -> float:
+        """Duration in seconds."""
+        return self.end_time_s - self.start_time_s
+
+    @property
+    def queue_wait_s(self) -> float:
+        """Seconds spent queued before starting."""
+        return self.start_time_s - self.submit_time_s
+
+    def __post_init__(self):
+        if self.end_time_s <= self.start_time_s:
+            raise ValueError(f"job {self.job_id}: end before start")
+        if self.start_time_s < self.submit_time_s:
+            raise ValueError(f"job {self.job_id}: started before submission")
+        if self.n_nodes < 1 or self.gpus_per_node < 1:
+            raise ValueError(f"job {self.job_id}: needs >= 1 node and >= 1 GPU")
+
+
+@dataclass
+class SchedulerLog:
+    """Append-only collection of job records with simple query helpers."""
+
+    records: list[JobRecord] = field(default_factory=list)
+
+    def append(self, record: JobRecord) -> None:
+        """Add one entry."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def by_class(self, class_label: int) -> list[JobRecord]:
+        """Records whose class label matches."""
+        return [r for r in self.records if r.class_label == class_label]
+
+    def total_gpu_series(self) -> int:
+        """Number of distinct GPU time series across all jobs (paper: >17k
+        series from 3,430 jobs because multi-GPU jobs repeat the label)."""
+        return sum(r.n_gpus for r in self.records)
+
+    @staticmethod
+    def make_record(
+        job_id: int,
+        architecture: str,
+        class_label: int,
+        duration_s: float,
+        rng: np.random.Generator,
+        *,
+        user: str | None = None,
+        n_nodes: int = 1,
+        gpus_per_node: int = 1,
+        clock_s: float = 0.0,
+    ) -> JobRecord:
+        """Sample submit/start times around a cluster clock and build a record."""
+        submit = clock_s + float(rng.uniform(0.0, 3600.0))
+        wait = float(rng.exponential(120.0))
+        start = submit + wait
+        user = user if user is not None else f"user{int(rng.integers(0, 500)):04d}"
+        return JobRecord(
+            job_id=job_id,
+            user_hash=anonymize_id(user),
+            architecture=architecture,
+            class_label=class_label,
+            n_nodes=n_nodes,
+            gpus_per_node=gpus_per_node,
+            submit_time_s=submit,
+            start_time_s=start,
+            end_time_s=start + duration_s,
+        )

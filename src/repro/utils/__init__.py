@@ -1,0 +1,39 @@
+"""Shared low-level utilities: seeding, validation, timing, and array I/O.
+
+These helpers are deliberately tiny and dependency-free so that every other
+subpackage (:mod:`repro.simcluster`, :mod:`repro.ml`, :mod:`repro.nn`, ...)
+can use them without import cycles.
+"""
+
+from repro.utils.rng import SeedSequenceFactory, as_generator, spawn_generators
+from repro.utils.validation import (
+    check_2d,
+    check_3d,
+    check_array,
+    check_consistent_length,
+    check_labels,
+    check_probability,
+    check_positive,
+)
+from repro.utils.timer import Timer, format_duration
+from repro.utils.arrayio import load_npz_dataset, save_npz_dataset
+from repro.utils.persist import load_model, save_model
+
+__all__ = [
+    "SeedSequenceFactory",
+    "as_generator",
+    "spawn_generators",
+    "check_array",
+    "check_2d",
+    "check_3d",
+    "check_consistent_length",
+    "check_labels",
+    "check_probability",
+    "check_positive",
+    "Timer",
+    "format_duration",
+    "save_npz_dataset",
+    "load_npz_dataset",
+    "save_model",
+    "load_model",
+]

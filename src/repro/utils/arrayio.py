@@ -1,0 +1,69 @@
+"""npz persistence in the exact file layout the challenge release uses.
+
+Each challenge dataset is one ``.npz`` archive containing six arrays —
+``X_train, y_train, model_train, X_test, y_test, model_test`` — matching the
+description in Section III-A of the paper, so downstream tooling written
+against the official release works unchanged against our synthetic datasets.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["save_npz_dataset", "load_npz_dataset", "CHALLENGE_KEYS"]
+
+CHALLENGE_KEYS = ("X_train", "y_train", "model_train", "X_test", "y_test", "model_test")
+
+
+def save_npz_dataset(
+    path: str | Path,
+    *,
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+    model_train: np.ndarray,
+    X_test: np.ndarray,
+    y_test: np.ndarray,
+    model_test: np.ndarray,
+    compress: bool = True,
+) -> Path:
+    """Write one challenge dataset to ``path`` in the paper's npz layout."""
+    path = Path(path)
+    if X_train.ndim != 3 or X_test.ndim != 3:
+        raise ValueError(
+            "X arrays must be 3-D (trials, samples, sensors); "
+            f"got {X_train.shape} and {X_test.shape}"
+        )
+    if X_train.shape[0] != y_train.shape[0] or X_train.shape[0] != model_train.shape[0]:
+        raise ValueError("train arrays have inconsistent trial counts")
+    if X_test.shape[0] != y_test.shape[0] or X_test.shape[0] != model_test.shape[0]:
+        raise ValueError("test arrays have inconsistent trial counts")
+    if X_train.shape[1:] != X_test.shape[1:]:
+        raise ValueError(
+            f"train/test window shapes differ: {X_train.shape[1:]} vs {X_test.shape[1:]}"
+        )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    saver = np.savez_compressed if compress else np.savez
+    saver(
+        path,
+        X_train=X_train,
+        y_train=y_train,
+        model_train=model_train,
+        X_test=X_test,
+        y_test=y_test,
+        model_test=model_test,
+    )
+    return path
+
+
+def load_npz_dataset(path: str | Path) -> dict[str, np.ndarray]:
+    """Load a challenge dataset npz, validating the expected key layout."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(path)
+    with np.load(path, allow_pickle=False) as archive:
+        missing = [k for k in CHALLENGE_KEYS if k not in archive.files]
+        if missing:
+            raise KeyError(f"{path} is missing challenge keys: {missing}")
+        return {k: archive[k] for k in CHALLENGE_KEYS}

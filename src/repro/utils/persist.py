@@ -1,0 +1,63 @@
+"""Model persistence.
+
+Fitted estimators in this package are plain Python objects over NumPy
+arrays, so pickling is safe and complete.  These helpers add the two
+things raw pickle lacks: a format header that rejects non-repro files
+early, and a version stamp so future releases can warn on mismatches.
+
+Security note: as with any pickle-based format, only load model files you
+produced or trust.
+"""
+
+from __future__ import annotations
+
+import pickle
+import warnings
+from pathlib import Path
+
+__all__ = ["save_model", "load_model"]
+
+_MAGIC = "repro-model-v1"
+
+
+def save_model(model, path: str | Path) -> Path:
+    """Serialize a (fitted or unfitted) estimator to ``path``."""
+    import repro
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "magic": _MAGIC,
+        "repro_version": repro.__version__,
+        "model_class": type(model).__name__,
+        "model": model,
+    }
+    with path.open("wb") as handle:
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    return path
+
+
+def load_model(path: str | Path):
+    """Load an estimator saved by :func:`save_model`.
+
+    Raises ``ValueError`` for files that are not repro model archives;
+    warns (but proceeds) when the saving library version differs.
+    """
+    import repro
+
+    path = Path(path)
+    with path.open("rb") as handle:
+        try:
+            payload = pickle.load(handle)
+        except Exception as exc:  # corrupt / not a pickle
+            raise ValueError(f"{path} is not a repro model file: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("magic") != _MAGIC:
+        raise ValueError(f"{path} is not a repro model file")
+    saved = payload.get("repro_version")
+    if saved != repro.__version__:
+        warnings.warn(
+            f"model was saved with repro {saved}, loading under "
+            f"{repro.__version__}",
+            stacklevel=2,
+        )
+    return payload["model"]

@@ -1,0 +1,81 @@
+"""Lightweight wall-clock timing used by benchmarks and the trainer.
+
+``pytest-benchmark`` handles micro-benchmarks; :class:`Timer` covers the
+coarse phase timing that experiment harnesses report alongside accuracy
+(e.g. the PCA-vs-covariance fit-time comparison in Table V's discussion).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "format_duration"]
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration in the most readable unit (``85.3ms``, ``2m03s``)."""
+    if seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {seconds}")
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 60.0:
+        return f"{seconds:.2f}s"
+    minutes, rem = divmod(seconds, 60.0)
+    return f"{int(minutes)}m{rem:04.1f}s"
+
+
+@dataclass
+class Timer:
+    """Context-manager stopwatch that can also accumulate named laps.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed > 0
+    True
+    """
+
+    laps: dict[str, float] = field(default_factory=dict)
+    _start: float = field(default=0.0, repr=False)
+    elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+    def lap(self, name: str) -> "_Lap":
+        """Time a named section: ``with timer.lap("pca"): ...``."""
+        return _Lap(self, name)
+
+    def total(self) -> float:
+        """Sum of all recorded laps plus any context-managed elapsed time."""
+        return self.elapsed + sum(self.laps.values())
+
+    def report(self) -> str:
+        """Human-readable multi-line lap report."""
+        lines = [f"{name:<24s} {format_duration(t)}" for name, t in self.laps.items()]
+        if self.elapsed:
+            lines.append(f"{'<total>':<24s} {format_duration(self.elapsed)}")
+        return "\n".join(lines)
+
+
+class _Lap:
+    def __init__(self, timer: Timer, name: str):
+        self._timer = timer
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Lap":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        dt = time.perf_counter() - self._start
+        self._timer.laps[self._name] = self._timer.laps.get(self._name, 0.0) + dt

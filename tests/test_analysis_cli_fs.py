@@ -1,0 +1,171 @@
+"""Tests for the analysis module, the filesystem-log model, and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import family_confusion, hardest_pairs, job_type_efficiency
+from repro.analysis.confusion import within_family_error_fraction
+from repro.cli import build_parser, main
+from repro.simcluster.architectures import class_index, get_architecture
+from repro.simcluster.filesystem import FS_COUNTER_NAMES, FsModel
+from repro.simcluster.phases import build_phase_schedule
+from repro.simcluster.signatures import signature_for
+
+
+class TestEfficiencyAnalysis:
+    def test_reports_cover_classes(self, labelled_tiny):
+        reports = job_type_efficiency(labelled_tiny)
+        assert 1 <= len(reports) <= 26
+        names = {r.class_name for r in reports}
+        assert "VGG11" in names
+
+    def test_sorted_by_efficiency(self, labelled_tiny):
+        reports = job_type_efficiency(labelled_tiny)
+        ratios = [r.util_per_watt for r in reports]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_physical_plausibility(self, labelled_tiny):
+        for r in job_type_efficiency(labelled_tiny):
+            assert 0 < r.mean_util_pct <= 100
+            assert 0 < r.mean_power_w <= 350
+            assert r.energy_kj_per_trial > 0
+
+    def test_nlp_more_efficient_than_gnn(self, labelled_tiny):
+        """Dense NLP workloads convert power to utilization better than
+        sparse GNNs in our signature model."""
+        reports = {r.class_name: r for r in job_type_efficiency(labelled_tiny)}
+        if "Bert" in reports and "NNConv" in reports:
+            assert reports["Bert"].util_per_watt > reports["NNConv"].util_per_watt
+
+    def test_empty_rejected(self):
+        from repro.data.dataset import LabelledDataset
+
+        with pytest.raises(ValueError):
+            job_type_efficiency(LabelledDataset([]))
+
+
+class TestConfusionAnalysis:
+    def test_family_confusion_shape(self):
+        y = np.array([class_index("VGG11"), class_index("VGG16"),
+                      class_index("Bert")])
+        p = np.array([class_index("VGG16"), class_index("VGG16"),
+                      class_index("NNConv")])
+        C, families = family_confusion(y, p)
+        assert C.shape == (6, 6)
+        assert C.sum() == 3
+        # VGG→VGG twice, NLP→GNN once.
+        assert C[families.index("VGG"), families.index("VGG")] == 2
+        assert C[families.index("NLP"), families.index("GNN")] == 1
+
+    def test_within_family_fraction(self):
+        vgg11, vgg16 = class_index("VGG11"), class_index("VGG16")
+        bert = class_index("Bert")
+        y = np.array([vgg11, vgg11, bert])
+        p = np.array([vgg16, vgg11, vgg11])
+        # Two errors: one within-family (VGG11→VGG16), one across.
+        assert within_family_error_fraction(y, p) == pytest.approx(0.5)
+
+    def test_no_errors_nan(self):
+        y = np.array([0, 1])
+        assert np.isnan(within_family_error_fraction(y, y))
+
+    def test_hardest_pairs(self):
+        vgg11, vgg16 = class_index("VGG11"), class_index("VGG16")
+        y = np.array([vgg11] * 5 + [vgg16])
+        p = np.array([vgg16] * 5 + [vgg16])
+        pairs = hardest_pairs(y, p, top=3)
+        assert pairs[0]["true"] == "VGG11"
+        assert pairs[0]["predicted"] == "VGG16"
+        assert pairs[0]["count"] == 5
+        assert pairs[0]["same_family"] is True
+
+    def test_label_range_validated(self):
+        with pytest.raises(ValueError):
+            family_confusion(np.array([99]), np.array([0]))
+
+
+class TestFsModel:
+    def _counters(self, name="VGG16", seed=0, total=300.0):
+        sig = signature_for(get_architecture(name))
+        sched = build_phase_schedule(sig, total, np.random.default_rng(seed))
+        return FsModel().generate(sig, sched, np.random.default_rng(seed))
+
+    def test_shape(self):
+        counters = self._counters()
+        assert counters.data.shape[1] == len(FS_COUNTER_NAMES)
+        assert counters.n_samples >= 2
+
+    def test_counters_monotone(self):
+        counters = self._counters(seed=3)
+        assert np.all(np.diff(counters.data, axis=0) >= -1e-9)
+
+    def test_closes_never_exceed_opens(self):
+        counters = self._counters(seed=4)
+        opens = counters.data[:, FS_COUNTER_NAMES.index("open_ops")]
+        closes = counters.data[:, FS_COUNTER_NAMES.index("close_ops")]
+        assert np.all(closes <= opens + 1e-9)
+
+    def test_reads_dominate_writes_for_training(self):
+        """Input pipelines read far more than they checkpoint-write."""
+        counters = self._counters("Bert", seed=5, total=400.0)
+        read = counters.data[-1, FS_COUNTER_NAMES.index("read_bytes")]
+        write = counters.data[-1, FS_COUNTER_NAMES.index("write_bytes")]
+        assert read > write
+
+    def test_rates_view(self):
+        counters = self._counters(seed=6)
+        rates = counters.rates()
+        assert rates.shape == counters.data.shape
+        np.testing.assert_allclose(rates.sum(axis=0), counters.data[-1],
+                                   rtol=1e-9)
+
+    def test_invalid_dt(self):
+        with pytest.raises(ValueError):
+            FsModel(dt_s=0.0)
+
+    def test_cluster_integration(self):
+        """generate_fs=True attaches counters to every simulated job and
+        the exporter writes them."""
+        from repro.simcluster.cluster import ClusterSimulator, SimulationConfig
+        from repro.simcluster.export import export_release
+        import tempfile
+        from pathlib import Path
+
+        cfg = SimulationConfig(seed=3, trials_scale=0.002,
+                               min_jobs_per_class=1, generate_fs=True,
+                               duration_clip_s=(150.0, 300.0))
+        jobs, log = ClusterSimulator(cfg).generate()
+        assert all(j.fs_counters is not None for j in jobs)
+        with tempfile.TemporaryDirectory() as tmp:
+            counts = export_release(jobs, log, tmp)
+            assert counts["fs_series"] == len(jobs)
+            assert len(list((Path(tmp) / "fsio").glob("*.csv"))) == len(jobs)
+
+
+class TestCli:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["simulate", "--scale", "0.01"])
+        assert args.command == "simulate"
+        assert args.scale == 0.01
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_round_trip(self, tmp_path, capsys):
+        rc = main(["simulate", "--scale", "0.004", "--seed", "7",
+                   "--csv-dir", str(tmp_path / "csv")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "labelled GPU series" in out
+        assert (tmp_path / "csv" / "scheduler.csv").exists()
+
+    def test_efficiency_command(self, capsys):
+        rc = main(["efficiency", "--scale", "0.004", "--seed", "7"])
+        assert rc == 0
+        assert "least efficient job type" in capsys.readouterr().out
+
+    def test_invalid_model_choice(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "--model", "mlp"])

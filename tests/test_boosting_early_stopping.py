@@ -1,0 +1,51 @@
+"""Tests for boosting early stopping (the plateau finding as a rule)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.boosting import GradientBoostingClassifier
+
+
+class TestEarlyStopping:
+    def _data(self, seed=0):
+        rng = np.random.default_rng(seed)
+        n, p, k = 200, 5, 3
+        centers = rng.normal(0, 2.0, size=(k, p))
+        y = rng.integers(0, k, n)
+        X = centers[y] + rng.normal(0, 1.5, size=(n, p))
+        return X[:150], y[:150], X[150:], y[150:]
+
+    def test_stops_before_cap(self):
+        Xtr, ytr, Xte, yte = self._data()
+        clf = GradientBoostingClassifier(n_estimators=100, max_depth=3)
+        clf.fit(Xtr, ytr, eval_set=(Xte, yte), early_stopping_rounds=3)
+        assert len(clf.trees_) < 100
+        assert hasattr(clf, "best_iteration_")
+
+    def test_keeps_best_round_trees(self):
+        Xtr, ytr, Xte, yte = self._data(seed=1)
+        clf = GradientBoostingClassifier(n_estimators=60, max_depth=3)
+        clf.fit(Xtr, ytr, eval_set=(Xte, yte), early_stopping_rounds=4)
+        assert len(clf.trees_) == clf.best_iteration_ + 1
+        # Final model scores exactly the recorded best eval accuracy.
+        best_recorded = max(clf.evals_result_["eval_accuracy"])
+        assert clf.score(Xte, yte) == pytest.approx(best_recorded)
+
+    def test_requires_eval_set(self):
+        Xtr, ytr, _, _ = self._data()
+        clf = GradientBoostingClassifier(n_estimators=10)
+        with pytest.raises(ValueError, match="eval_set"):
+            clf.fit(Xtr, ytr, early_stopping_rounds=2)
+
+    def test_invalid_rounds(self):
+        Xtr, ytr, Xte, yte = self._data()
+        clf = GradientBoostingClassifier(n_estimators=10)
+        with pytest.raises(ValueError, match="early_stopping_rounds"):
+            clf.fit(Xtr, ytr, eval_set=(Xte, yte), early_stopping_rounds=0)
+
+    def test_without_early_stopping_all_rounds_kept(self):
+        Xtr, ytr, Xte, yte = self._data()
+        clf = GradientBoostingClassifier(n_estimators=8, max_depth=3)
+        clf.fit(Xtr, ytr, eval_set=(Xte, yte))
+        assert len(clf.trees_) == 8
+        assert not hasattr(clf, "best_iteration_")

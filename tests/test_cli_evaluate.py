@@ -1,0 +1,25 @@
+"""End-to-end test of the CLI evaluate subcommand (kept tiny)."""
+
+from repro.cli import main
+
+
+class TestCliEvaluate:
+    def test_evaluate_svm_cov(self, capsys):
+        rc = main([
+            "evaluate", "--model", "svm_cov", "--dataset", "60-middle-1",
+            "--scale", "0.004", "--seed", "11", "--cv", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "svm_cov on 60-middle-1" in out
+        assert "test accuracy" in out
+
+    def test_evaluate_xgb_prints_importances(self, capsys):
+        rc = main([
+            "evaluate", "--model", "xgb_cov", "--dataset", "60-random-1",
+            "--scale", "0.004", "--seed", "11", "--cv", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "gain importance" in out
+        assert "var(" in out or "cov(" in out

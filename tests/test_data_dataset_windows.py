@@ -1,0 +1,174 @@
+"""Tests for dataset containers and window extraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.dataset import ChallengeDataset, LabelledDataset, LabelledTrial
+from repro.data.windows import WindowMode, extract_window, window_offsets
+
+
+def _trial(n=600, label=0, job_id=0, name="VGG11", gpu=0, seed=0):
+    rng = np.random.default_rng(seed)
+    return LabelledTrial(
+        series=rng.normal(size=(n, 7)), label=label, model_name=name,
+        job_id=job_id, gpu_index=gpu,
+    )
+
+
+class TestLabelledTrial:
+    def test_basic(self):
+        t = _trial()
+        assert t.n_samples == 600
+
+    def test_rejects_wrong_sensor_count(self):
+        with pytest.raises(ValueError, match="must be"):
+            LabelledTrial(series=np.zeros((10, 5)), label=0,
+                          model_name="x", job_id=0)
+
+    def test_rejects_negative_label(self):
+        with pytest.raises(ValueError, match="negative"):
+            LabelledTrial(series=np.zeros((10, 7)), label=-1,
+                          model_name="x", job_id=0)
+
+
+class TestLabelledDataset:
+    def _dataset(self):
+        return LabelledDataset([
+            _trial(n=600, label=0, job_id=0),
+            _trial(n=300, label=0, job_id=0, gpu=1),
+            _trial(n=800, label=1, job_id=1, name="VGG16"),
+        ])
+
+    def test_accessors(self):
+        ds = self._dataset()
+        np.testing.assert_array_equal(ds.labels(), [0, 0, 1])
+        np.testing.assert_array_equal(ds.job_ids(), [0, 0, 1])
+        np.testing.assert_array_equal(ds.lengths(), [600, 300, 800])
+        assert ds.n_jobs() == 2
+
+    def test_eligible_filters_short_trials(self):
+        ds = self._dataset().eligible(540)
+        assert len(ds) == 2
+        assert all(t.n_samples >= 540 for t in ds)
+
+    def test_eligible_invalid(self):
+        with pytest.raises(ValueError):
+            self._dataset().eligible(0)
+
+    def test_class_counts(self):
+        counts = self._dataset().class_counts()
+        assert counts["VGG11"] == 2
+        assert counts["VGG16"] == 1
+        assert counts["Bert"] == 0
+
+
+class TestWindowOffsets:
+    def test_start_mode_zero(self):
+        offs = window_offsets(np.array([600, 700]), 540, WindowMode.START)
+        np.testing.assert_array_equal(offs, [0, 0])
+
+    def test_middle_mode_centered(self):
+        offs = window_offsets(np.array([640]), 540, "middle")
+        assert offs[0] == 50
+
+    def test_random_mode_in_bounds(self):
+        rng = np.random.default_rng(0)
+        lengths = np.array([540, 600, 1000, 5000])
+        offs = window_offsets(lengths, 540, WindowMode.RANDOM, rng)
+        assert np.all(offs >= 0)
+        assert np.all(offs + 540 <= lengths)
+
+    def test_random_requires_rng(self):
+        with pytest.raises(ValueError, match="rng"):
+            window_offsets(np.array([600]), 540, WindowMode.RANDOM)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError, match="shorter than window"):
+            window_offsets(np.array([500]), 540, WindowMode.START)
+
+    def test_exact_length_ok(self):
+        offs = window_offsets(np.array([540]), 540, "middle")
+        assert offs[0] == 0
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown window mode"):
+            window_offsets(np.array([600]), 540, "end")
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=540, max_value=5000), min_size=1, max_size=20),
+        st.integers(0, 1000),
+    )
+    def test_property_random_offsets_valid(self, lengths, seed):
+        lengths = np.array(lengths)
+        offs = window_offsets(lengths, 540, "random", np.random.default_rng(seed))
+        assert np.all((offs >= 0) & (offs + 540 <= lengths))
+
+
+class TestExtractWindow:
+    def test_is_view(self):
+        series = np.arange(700 * 7, dtype=float).reshape(700, 7)
+        win = extract_window(series, 10, 540)
+        assert win.base is not None and np.shares_memory(win, series)  # no copy
+        assert win.shape == (540, 7)
+        np.testing.assert_array_equal(win[0], series[10])
+
+    def test_out_of_bounds(self):
+        with pytest.raises(ValueError, match="out of bounds"):
+            extract_window(np.zeros((600, 7)), 100, 540)
+
+    def test_negative_offset(self):
+        with pytest.raises(ValueError):
+            extract_window(np.zeros((600, 7)), -1, 540)
+
+
+class TestChallengeDataset:
+    def _make(self, n_train=8, n_test=4):
+        rng = np.random.default_rng(3)
+        return ChallengeDataset(
+            name="60-random-1",
+            X_train=rng.normal(size=(n_train, 20, 7)).astype(np.float32),
+            y_train=rng.integers(0, 3, n_train),
+            model_train=np.array(["m"] * n_train),
+            X_test=rng.normal(size=(n_test, 20, 7)).astype(np.float32),
+            y_test=rng.integers(0, 3, n_test),
+            model_test=np.array(["m"] * n_test),
+        )
+
+    def test_properties(self):
+        ds = self._make()
+        assert ds.n_train == 8 and ds.n_test == 4
+        assert ds.n_samples == 20 and ds.n_sensors == 7
+
+    def test_summary_row(self):
+        row = self._make().summary_row()
+        assert row == {
+            "dataset": "60-random-1", "training_trials": 8,
+            "testing_trials": 4, "samples": 20, "sensors": 7,
+        }
+
+    def test_rejects_mismatched_window(self):
+        ds = self._make()
+        with pytest.raises(ValueError, match="window shapes"):
+            ChallengeDataset(
+                name="x", X_train=ds.X_train, y_train=ds.y_train,
+                model_train=ds.model_train, X_test=ds.X_test[:, :10],
+                y_test=ds.y_test, model_test=ds.model_test,
+            )
+
+    def test_rejects_length_mismatch(self):
+        ds = self._make()
+        with pytest.raises(ValueError, match="inconsistent"):
+            ChallengeDataset(
+                name="x", X_train=ds.X_train, y_train=ds.y_train[:-1],
+                model_train=ds.model_train, X_test=ds.X_test,
+                y_test=ds.y_test, model_test=ds.model_test,
+            )
+
+    def test_npz_dict_keys(self):
+        d = self._make().as_npz_dict()
+        assert set(d) == {
+            "X_train", "y_train", "model_train",
+            "X_test", "y_test", "model_test",
+        }

@@ -1,0 +1,46 @@
+"""Examples stay loadable: compile and import every script in examples/.
+
+Full executions live outside the unit suite (several scripts train models
+for minutes); importing executes only module-level code, which for the
+examples is definitions plus the ``__main__`` guard — so this catches API
+drift between the library and its documentation-by-example cheaply.
+"""
+
+import importlib.util
+import py_compile
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    """The deliverable requires at least a quickstart plus domain scripts."""
+    names = {p.name for p in EXAMPLE_FILES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLE_FILES) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_imports_and_defines_main(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert callable(getattr(module, "main", None)), (
+        f"{path.name} must define a main() entry point"
+    )
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_has_docstring(path):
+    source = path.read_text()
+    assert source.lstrip().startswith('"""'), (
+        f"{path.name} should open with a usage docstring"
+    )

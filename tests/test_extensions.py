@@ -1,0 +1,236 @@
+"""Tests for the future-work extensions: ConvLSTM, CPU+GPU fusion, and
+full-trace classification."""
+
+import numpy as np
+import pytest
+
+from repro.data.fulltrace import full_trace_covariance, full_trace_features
+from repro.data.fusion import (
+    build_fused_dataset,
+    cpu_feature_names,
+    cpu_summary_features,
+)
+from repro.models.convlstm_model import ConvLSTMClassifier
+from repro.nn import Tensor
+from repro.nn.layers.conv import Conv1d, conv_output_length, resolve_padding
+from repro.nn.layers.convlstm import ConvLSTM1d, segment_sequence
+from repro.simcluster.cluster import ClusterSimulator
+from tests.test_nn_tensor import numerical_grad
+
+
+class TestPaddedConv:
+    def test_same_padding_preserves_length(self):
+        conv = Conv1d(3, 4, kernel_size=5, padding="same", rng=0)
+        out = conv(Tensor(np.random.default_rng(0).normal(size=(2, 17, 3))))
+        assert out.shape == (2, 17, 4)
+
+    def test_explicit_padding_length(self):
+        assert conv_output_length(10, 3, 1, padding=2) == 12
+
+    def test_same_requires_odd_kernel(self):
+        with pytest.raises(ValueError, match="odd"):
+            resolve_padding("same", 4)
+
+    def test_negative_padding_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_padding(-1, 3)
+
+    def test_padded_gradcheck(self):
+        conv = Conv1d(2, 2, kernel_size=3, padding="same", rng=1)
+        for p in conv.parameters():
+            p.data = p.data.astype(np.float64)
+        x_data = np.random.default_rng(2).normal(size=(2, 5, 2))
+        x = Tensor(x_data, requires_grad=True, dtype=np.float64)
+        conv(x).sum().backward()
+
+        def f():
+            return float(conv(Tensor(x_data, dtype=np.float64)).data.sum())
+
+        np.testing.assert_allclose(x.grad, numerical_grad(f, x_data),
+                                   atol=1e-6)
+
+
+class TestSegmentSequence:
+    def test_shape(self):
+        x = np.arange(2 * 12 * 3, dtype=float).reshape(2, 12, 3)
+        seg = segment_sequence(x, 4)
+        assert seg.shape == (2, 4, 3, 3)
+        np.testing.assert_array_equal(seg[0, 0], x[0, :3])
+
+    def test_drops_remainder(self):
+        x = np.zeros((1, 13, 2))
+        seg = segment_sequence(x, 4)
+        assert seg.shape == (1, 4, 3, 2)
+
+    def test_invalid_segments(self):
+        with pytest.raises(ValueError):
+            segment_sequence(np.zeros((1, 5, 2)), 9)
+
+    def test_requires_3d(self):
+        with pytest.raises(ValueError):
+            segment_sequence(np.zeros((5, 2)), 2)
+
+
+class TestConvLSTM1d:
+    def test_output_shape(self):
+        layer = ConvLSTM1d(3, 6, kernel_size=3, rng=0)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 4, 9, 3))
+                   .astype(np.float32))
+        out = layer(x)
+        assert out.shape == (2, 4, 9, 6)
+
+    def test_even_kernel_rejected(self):
+        with pytest.raises(ValueError, match="odd"):
+            ConvLSTM1d(3, 6, kernel_size=4)
+
+    def test_wrong_channels(self):
+        layer = ConvLSTM1d(3, 6, rng=0)
+        with pytest.raises(ValueError, match="expected"):
+            layer(Tensor(np.zeros((1, 2, 9, 4), dtype=np.float32)))
+
+    def test_state_evolves_across_segments(self):
+        layer = ConvLSTM1d(2, 4, kernel_size=3, rng=1)
+        x = Tensor(np.random.default_rng(1).normal(size=(1, 5, 7, 2))
+                   .astype(np.float32))
+        out = layer(x).data
+        # Later states should differ from the first (memory accumulates).
+        assert np.abs(out[0, -1] - out[0, 0]).max() > 1e-4
+
+    def test_gradients_flow(self):
+        layer = ConvLSTM1d(2, 3, kernel_size=3, rng=2)
+        x = Tensor(np.random.default_rng(2).normal(size=(2, 3, 5, 2))
+                   .astype(np.float32), requires_grad=True)
+        layer(x).sum().backward()
+        assert x.grad is not None
+        for name, p in layer.named_parameters():
+            assert p.grad is not None, name
+
+    def test_gradcheck_tiny(self):
+        layer = ConvLSTM1d(1, 2, kernel_size=3, rng=3)
+        for p in layer.parameters():
+            p.data = p.data.astype(np.float64)
+        x_data = np.random.default_rng(3).normal(size=(1, 2, 5, 1))
+        x = Tensor(x_data, requires_grad=True, dtype=np.float64)
+        layer(x).sum().backward()
+
+        def f():
+            return float(layer(Tensor(x_data, dtype=np.float64)).data.sum())
+
+        np.testing.assert_allclose(x.grad, numerical_grad(f, x_data),
+                                   atol=2e-2, rtol=1e-3)
+
+
+class TestConvLSTMClassifier:
+    def test_forward_shape_and_distribution(self):
+        model = ConvLSTMClassifier(n_sensors=7, seq_len=60, n_classes=5,
+                                   n_segments=6, hidden_channels=4,
+                                   head_width=8, seed=0)
+        model.eval()
+        out = model(Tensor(np.zeros((3, 60, 7), dtype=np.float32)))
+        assert out.shape == (3, 5)
+        np.testing.assert_allclose(np.exp(out.data).sum(axis=1), 1.0,
+                                   atol=1e-5)
+
+    def test_learns_separable_classes(self):
+        from repro.nn import Adam, NLLLoss
+
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(30, 60, 7)).astype(np.float32)
+        y = rng.integers(0, 3, 30)
+        for c in range(3):
+            X[y == c, :, c] += 2.5
+        model = ConvLSTMClassifier(n_sensors=7, seq_len=60, n_classes=3,
+                                   n_segments=6, hidden_channels=6,
+                                   head_width=16, seed=0)
+        opt = Adam(model.parameters(), lr=5e-3)
+        loss_fn = NLLLoss()
+        for _ in range(25):
+            out = model(Tensor(X))
+            loss = loss_fn(out, y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert (model.predict(X) == y).mean() > 0.7
+
+    def test_segment_kernel_validation(self):
+        with pytest.raises(ValueError, match="shorter than kernel"):
+            ConvLSTMClassifier(seq_len=60, n_segments=30, kernel_size=5)
+
+
+class TestCpuFusion:
+    @pytest.fixture(scope="class")
+    def jobs(self, tiny_sim_config):
+        jobs, _ = ClusterSimulator(tiny_sim_config).generate()
+        return jobs
+
+    def test_feature_names_align_with_vector(self, jobs):
+        names = cpu_feature_names()
+        vec = cpu_summary_features(jobs[0].cpu_series)
+        assert len(names) == vec.shape[0]
+        assert "rate(ReadMB)" in names
+        assert "mean(CPUUtilization)" in names
+
+    def test_rates_nonnegative(self, jobs):
+        names = cpu_feature_names()
+        rate_cols = [i for i, n in enumerate(names) if n.startswith("rate(")]
+        for job in jobs[:10]:
+            vec = cpu_summary_features(job.cpu_series)
+            assert np.all(vec[rate_cols] >= -1e-9)
+
+    def test_fused_dataset_alignment(self, jobs):
+        gpu_idx, cpu_feats, labels, job_ids = build_fused_dataset(jobs)
+        n_trials = sum(len(j.gpu_series) for j in jobs)
+        assert gpu_idx.shape == (n_trials,)
+        assert cpu_feats.shape == (n_trials, len(cpu_feature_names()))
+        assert labels.shape == (n_trials,)
+        # Trials of one job share the CPU vector and the label.
+        for j, job in enumerate(jobs[:5]):
+            mask = gpu_idx == j
+            if mask.sum() > 1:
+                rows = cpu_feats[mask]
+                np.testing.assert_array_equal(rows[0], rows[1])
+            assert np.all(labels[mask] == job.record.class_label)
+
+    def test_missing_cpu_rejected(self, jobs):
+        import copy
+
+        broken = [copy.copy(jobs[0])]
+        broken[0].cpu_series = None
+        with pytest.raises(ValueError, match="no CPU series"):
+            build_fused_dataset(broken)
+
+
+class TestFullTrace:
+    def test_features_shape(self, labelled_tiny):
+        X, y, job_ids = full_trace_features(labelled_tiny)
+        assert X.shape == (len(labelled_tiny), 28)
+        assert y.shape == job_ids.shape == (len(labelled_tiny),)
+
+    def test_length_invariance_of_representation(self):
+        """A stationary series yields (nearly) the same features at any
+        length — the property that makes full traces and 60 s windows
+        directly comparable."""
+        rng = np.random.default_rng(0)
+        cov = np.array([[1.0, 0.6], [0.6, 2.0]])
+        chol = np.linalg.cholesky(cov)
+        long = (rng.normal(size=(20000, 2)) @ chol.T)
+        mean = np.zeros(2)
+        scale = np.ones(2)
+        f_long = full_trace_covariance(long, mean, scale)
+        f_short = full_trace_covariance(long[:5000], mean, scale)
+        np.testing.assert_allclose(f_long, f_short, atol=0.1)
+
+    def test_separability_not_destroyed(self, labelled_tiny):
+        """Full-trace features must classify above chance on the tiny set."""
+        from repro.ml.ensemble import RandomForestClassifier
+
+        X, y, _ = full_trace_features(labelled_tiny)
+        clf = RandomForestClassifier(n_estimators=20, random_state=0,
+                                     oob_score=True).fit(X, y)
+        assert clf.oob_score_ > 1.5 / 26
+
+    def test_empty_dataset(self):
+        from repro.data.dataset import LabelledDataset
+
+        with pytest.raises(ValueError, match="empty"):
+            full_trace_features(LabelledDataset([]))

@@ -1,0 +1,102 @@
+"""Tests for SelectByImportance and the node-state snapshot view."""
+
+import numpy as np
+import pytest
+
+from repro.ml.preprocessing import Pipeline, SelectByImportance, StandardScaler
+from repro.simcluster.nodestate import snapshot_cluster
+from repro.simcluster.scheduler import SchedulerLog
+
+
+class TestSelectByImportance:
+    def _data(self, n=120, seed=0):
+        """Only features 0 and 3 carry signal."""
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, 8))
+        y = ((X[:, 0] > 0).astype(int) + (X[:, 3] > 0).astype(int)) % 3
+        return X, y
+
+    def test_selects_informative_features(self):
+        X, y = self._data()
+        sel = SelectByImportance(k=2, n_estimators=10).fit(X, y)
+        assert set(sel.support_.tolist()) == {0, 3}
+
+    def test_transform_shape(self):
+        X, y = self._data()
+        sel = SelectByImportance(k=3).fit(X, y)
+        assert sel.transform(X).shape == (len(y), 3)
+
+    def test_k_clipped_to_dims(self):
+        X, y = self._data()
+        sel = SelectByImportance(k=99).fit(X, y)
+        assert sel.transform(X).shape[1] == X.shape[1]
+
+    def test_invalid_k(self):
+        X, y = self._data()
+        with pytest.raises(ValueError):
+            SelectByImportance(k=0).fit(X, y)
+
+    def test_selected_names(self):
+        X, y = self._data()
+        sel = SelectByImportance(k=2).fit(X, y)
+        names = [f"f{i}" for i in range(8)]
+        assert sel.selected_names(names) == ["f0", "f3"]
+        with pytest.raises(ValueError):
+            sel.selected_names(["a"])
+
+    def test_feature_count_validated(self):
+        X, y = self._data()
+        sel = SelectByImportance(k=2).fit(X, y)
+        with pytest.raises(ValueError):
+            sel.transform(X[:, :4])
+
+    def test_in_pipeline(self):
+        from repro.ml.ensemble import RandomForestClassifier
+
+        X, y = self._data(n=150)
+        pipe = Pipeline([
+            ("scale", StandardScaler()),
+            ("select", SelectByImportance(k=2)),
+            ("clf", RandomForestClassifier(n_estimators=20, random_state=0)),
+        ])
+        pipe.fit(X[:120], y[:120])
+        assert pipe.score(X[120:], y[120:]) > 0.6
+
+
+class TestNodeState:
+    def _records(self, n=12, seed=0):
+        rng = np.random.default_rng(seed)
+        records = []
+        for i in range(n):
+            records.append(SchedulerLog.make_record(
+                job_id=i, architecture="VGG16", class_label=0,
+                duration_s=float(rng.uniform(600, 3000)), rng=rng,
+                n_nodes=int(rng.integers(1, 3)), gpus_per_node=2,
+            ))
+        return records
+
+    def test_snapshots_cover_span(self):
+        records = self._records()
+        series = snapshot_cluster(records, n_nodes=8, dt_s=300.0)
+        t, util = series.utilization_timeline()
+        assert t.size >= 2
+        assert util.min() >= 0.0 and util.max() <= 1.0
+
+    def test_some_gpus_in_use_midrun(self):
+        records = self._records()
+        series = snapshot_cluster(records, n_nodes=8, dt_s=300.0)
+        assert series.peak_concurrency() > 0
+
+    def test_gpus_per_node_capped(self):
+        records = self._records(n=30, seed=1)
+        series = snapshot_cluster(records, n_nodes=2, dt_s=600.0)
+        for snap in series.snapshots:
+            assert snap.gpus_in_use <= 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            snapshot_cluster([])
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            snapshot_cluster(self._records(), n_nodes=0)

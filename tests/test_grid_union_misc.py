@@ -1,0 +1,73 @@
+"""Union parameter grids, estimator scores, and harness arg validation."""
+
+import numpy as np
+import pytest
+
+from repro.ml.model_selection import GridSearchCV, ParameterGrid
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class TestUnionGrids:
+    def test_union_of_grids_in_search(self, blobs_split):
+        """A list of grids searches the union of products — how one sweeps
+        PCA and covariance pipelines in a single grid search."""
+        Xtr, ytr, _, _ = blobs_split
+        search = GridSearchCV(
+            DecisionTreeClassifier(),
+            [
+                {"max_depth": [2, 6]},
+                {"min_samples_leaf": [5], "max_depth": [4]},
+            ],
+            cv=3,
+        ).fit(Xtr, ytr)
+        assert len(search.cv_results_["params"]) == 3
+        assert search.best_score_ > 0.7
+
+    def test_param_grid_iteration_order_deterministic(self):
+        combos1 = list(ParameterGrid({"b": [1, 2], "a": ["x", "y"]}))
+        combos2 = list(ParameterGrid({"a": ["x", "y"], "b": [1, 2]}))
+        assert combos1 == combos2  # keys sorted internally
+
+
+class TestScoreMethods:
+    def test_classifier_mixin_score(self, blobs_split):
+        Xtr, ytr, Xte, yte = blobs_split
+        tree = DecisionTreeClassifier(max_depth=6).fit(Xtr, ytr)
+        manual = float(np.mean(tree.predict(Xte) == yte))
+        assert tree.score(Xte, yte) == pytest.approx(manual)
+
+
+class TestHarnessValidation:
+    @pytest.fixture(scope="class")
+    def mini_challenge(self):
+        from repro import SimulationConfig, WorkloadClassificationChallenge
+
+        return WorkloadClassificationChallenge.from_simulation(
+            SimulationConfig(seed=1, trials_scale=0.004, min_jobs_per_class=2,
+                             duration_clip_s=(150.0, 300.0),
+                             startup_mean_s=28.0),
+            names=("60-middle-1",),
+        )
+
+    def test_unknown_traditional_model(self, mini_challenge):
+        from repro.core.baselines import run_traditional_baseline
+
+        with pytest.raises(ValueError, match="unknown model"):
+            run_traditional_baseline(mini_challenge, "mlp", "60-middle-1")
+
+    def test_unknown_dataset(self, mini_challenge):
+        from repro.core.baselines import run_traditional_baseline
+
+        with pytest.raises(KeyError, match="unknown dataset"):
+            run_traditional_baseline(mini_challenge, "rf_cov", "60-end-1")
+
+    def test_rnn_time_stride_recorded(self, mini_challenge):
+        from repro.core.baselines import run_rnn_baseline
+
+        result = run_rnn_baseline(
+            mini_challenge, "lstm", "60-middle-1", hidden_size=8,
+            max_epochs=1, patience=1, time_stride=10,
+        )
+        assert result["time_stride"] == 10
+        # 540 / 10 = 54 timesteps reached the model.
+        assert result["n_parameters"] > 0

@@ -1,0 +1,278 @@
+"""Tests for estimator base classes and preprocessing transformers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.base import BaseEstimator, clone
+from repro.ml.preprocessing import (
+    CovarianceFeatures,
+    Flatten3D,
+    PCA,
+    Pipeline,
+    StandardScaler,
+    TimeSeriesStandardScaler,
+    covariance_feature_names,
+    upper_triangle_covariance,
+)
+
+
+class _Dummy(BaseEstimator):
+    def __init__(self, a=1, b="x", sub=None):
+        self.a = a
+        self.b = b
+        self.sub = sub
+
+
+class TestBaseEstimator:
+    def test_get_params(self):
+        d = _Dummy(a=3)
+        assert d.get_params() == {"a": 3, "b": "x", "sub": None}
+
+    def test_set_params(self):
+        d = _Dummy()
+        d.set_params(a=9, b="y")
+        assert d.a == 9 and d.b == "y"
+
+    def test_set_invalid_param(self):
+        with pytest.raises(ValueError, match="invalid parameter"):
+            _Dummy().set_params(c=1)
+
+    def test_nested_params(self):
+        d = _Dummy(sub=_Dummy(a=5))
+        assert d.get_params()["sub__a"] == 5
+        d.set_params(sub__a=7)
+        assert d.sub.a == 7
+
+    def test_clone_is_unfitted_copy(self):
+        d = _Dummy(a=4)
+        d.fitted_ = True
+        c = clone(d)
+        assert c.a == 4
+        assert not hasattr(c, "fitted_")
+        assert c is not d
+
+    def test_clone_deep_copies_mutables(self):
+        d = _Dummy(a=[1, 2])
+        c = clone(d)
+        c.a.append(3)
+        assert d.a == [1, 2]
+
+    def test_repr(self):
+        assert "a=1" in repr(_Dummy())
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_var(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5, 3, size=(200, 4))
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0, atol=1e-10)
+        np.testing.assert_allclose(Z.std(axis=0), 1, atol=1e-10)
+
+    def test_constant_feature_not_nan(self):
+        X = np.column_stack([np.ones(10), np.arange(10, dtype=float)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+        np.testing.assert_allclose(Z[:, 0], 0)
+
+    def test_inverse_round_trip(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(50, 3))
+        sc = StandardScaler().fit(X)
+        np.testing.assert_allclose(sc.inverse_transform(sc.transform(X)), X,
+                                   atol=1e-10)
+
+    def test_feature_count_check(self):
+        sc = StandardScaler().fit(np.random.default_rng(0).normal(size=(10, 3)))
+        with pytest.raises(ValueError, match="features"):
+            sc.transform(np.zeros((5, 4)))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            StandardScaler().transform(np.ones((2, 2)))
+
+
+class TestTimeSeriesScaler:
+    def test_per_sensor_stats(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal([10.0, -5.0], [2.0, 7.0], size=(30, 50, 2))
+        Z = TimeSeriesStandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=(0, 1)), 0, atol=1e-10)
+        np.testing.assert_allclose(Z.std(axis=(0, 1)), 1, atol=1e-10)
+
+    def test_requires_3d(self):
+        with pytest.raises(ValueError, match="3-D"):
+            TimeSeriesStandardScaler().fit(np.ones((4, 5)))
+
+    def test_inverse(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(5, 20, 3))
+        sc = TimeSeriesStandardScaler().fit(X)
+        np.testing.assert_allclose(sc.inverse_transform(sc.transform(X)), X,
+                                   atol=1e-10)
+
+
+class TestPCA:
+    def test_reconstruction_with_full_rank(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(40, 6))
+        pca = PCA(n_components=6).fit(X)
+        Z = pca.transform(X)
+        np.testing.assert_allclose(pca.inverse_transform(Z), X, atol=1e-8)
+
+    def test_components_orthonormal(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(60, 10))
+        pca = PCA(n_components=4).fit(X)
+        gram = pca.components_ @ pca.components_.T
+        np.testing.assert_allclose(gram, np.eye(4), atol=1e-8)
+
+    def test_variance_ordering(self):
+        rng = np.random.default_rng(6)
+        X = rng.normal(size=(80, 8)) * np.array([10, 5, 2, 1, 1, 1, 1, 1])
+        pca = PCA(n_components=5).fit(X)
+        assert np.all(np.diff(pca.explained_variance_) <= 1e-9)
+
+    def test_captures_dominant_direction(self):
+        rng = np.random.default_rng(7)
+        t = rng.normal(size=200)
+        X = np.outer(t, [3.0, 1.0, 0.0]) + rng.normal(0, 0.01, size=(200, 3))
+        pca = PCA(n_components=1).fit(X)
+        direction = pca.components_[0] / np.linalg.norm(pca.components_[0])
+        expected = np.array([3.0, 1.0, 0.0]) / np.sqrt(10)
+        assert abs(abs(direction @ expected) - 1) < 1e-3
+
+    def test_invalid_components(self):
+        X = np.random.default_rng(0).normal(size=(10, 5))
+        with pytest.raises(ValueError):
+            PCA(n_components=0).fit(X)
+        with pytest.raises(ValueError):
+            PCA(n_components=6).fit(X)
+
+    def test_deterministic_sign(self):
+        rng = np.random.default_rng(8)
+        X = rng.normal(size=(30, 5))
+        a = PCA(n_components=3).fit(X).components_
+        b = PCA(n_components=3).fit(X.copy()).components_
+        np.testing.assert_allclose(a, b)
+
+
+class TestCovariance:
+    def test_shape_28_for_7_sensors(self):
+        """R^{n x 540 x 7} -> R^{n x 28}, Section IV-A."""
+        X = np.random.default_rng(0).normal(size=(5, 540, 7))
+        F = upper_triangle_covariance(X)
+        assert F.shape == (5, 28)
+
+    def test_matches_naive_computation(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(3, 50, 4))
+        F = upper_triangle_covariance(X, normalize=True)
+        for i in range(3):
+            gram = X[i].T @ X[i] / 50
+            iu = np.triu_indices(4)
+            np.testing.assert_allclose(F[i], gram[iu], rtol=1e-10)
+
+    def test_diagonal_entries_nonnegative(self):
+        X = np.random.default_rng(2).normal(size=(10, 30, 7))
+        F = upper_triangle_covariance(X)
+        names = covariance_feature_names()
+        var_cols = [j for j, n in enumerate(names) if n.startswith("var(")]
+        assert np.all(F[:, var_cols] >= 0)
+
+    def test_feature_names(self):
+        names = covariance_feature_names()
+        assert len(names) == 28
+        assert names[0] == "var(utilization_gpu_pct)"
+        assert "cov(utilization_gpu_pct, utilization_memory_pct)" in names
+        assert names[-1] == "var(power_draw_W)"
+
+    def test_transformer_interface(self):
+        X = np.random.default_rng(3).normal(size=(4, 20, 7))
+        cov = CovarianceFeatures()
+        F = cov.fit_transform(X)
+        assert F.shape == (4, 28)
+        assert len(cov.feature_names_) == 28
+
+    def test_sensor_count_check(self):
+        cov = CovarianceFeatures().fit(np.ones((2, 10, 7)))
+        with pytest.raises(ValueError, match="sensors"):
+            cov.transform(np.ones((2, 10, 5)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(arrays(np.float64, (2, 12, 3),
+                  elements=st.floats(-100, 100, allow_nan=False)))
+    def test_property_psd(self, X):
+        """Per-trial Gram matrices are PSD: reconstructed eigenvalues >= 0."""
+        F = upper_triangle_covariance(X + 1e-6)
+        iu = np.triu_indices(3)
+        for row in F:
+            M = np.zeros((3, 3))
+            M[iu] = row
+            M = M + M.T - np.diag(np.diag(M))
+            eig = np.linalg.eigvalsh(M)
+            assert eig.min() >= -1e-8 * max(1.0, abs(eig).max())
+
+
+class TestFlattenAndPipeline:
+    def test_flatten(self):
+        X = np.arange(2 * 3 * 4, dtype=float).reshape(2, 3, 4)
+        F = Flatten3D().fit_transform(X)
+        assert F.shape == (2, 12)
+        np.testing.assert_array_equal(F[0], X[0].ravel())
+
+    def test_flatten_window_check(self):
+        f = Flatten3D().fit(np.ones((2, 3, 4)))
+        with pytest.raises(ValueError, match="window shape"):
+            f.transform(np.ones((2, 5, 4)))
+
+    def test_pipeline_chains(self, blobs_split):
+        from repro.ml.tree import DecisionTreeClassifier
+
+        Xtr, ytr, Xte, yte = blobs_split
+        pipe = Pipeline([
+            ("scale", StandardScaler()),
+            ("clf", DecisionTreeClassifier(max_depth=6)),
+        ])
+        pipe.fit(Xtr, ytr)
+        assert pipe.score(Xte, yte) > 0.85
+
+    def test_pipeline_set_params_routing(self):
+        pipe = Pipeline([
+            ("scale", StandardScaler()),
+            ("pca", PCA(n_components=2)),
+        ])
+        pipe.set_params(pca__n_components=3)
+        assert pipe["pca"].n_components == 3
+
+    def test_pipeline_rejects_non_transformer_middle(self):
+        from repro.ml.tree import DecisionTreeClassifier
+
+        with pytest.raises(TypeError, match="transformer"):
+            Pipeline([
+                ("clf", DecisionTreeClassifier()),
+                ("scale", StandardScaler()),
+            ])
+
+    def test_pipeline_duplicate_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Pipeline([("a", StandardScaler()), ("a", StandardScaler())])
+
+    def test_pipeline_unfitted_predict(self):
+        pipe = Pipeline([("scale", StandardScaler()), ("pca", PCA(2))])
+        with pytest.raises(RuntimeError):
+            pipe.predict(np.ones((2, 2)))
+
+    def test_pipeline_clone(self, blobs_split):
+        from repro.ml.base import clone
+        from repro.ml.tree import DecisionTreeClassifier
+
+        pipe = Pipeline([
+            ("scale", StandardScaler()),
+            ("clf", DecisionTreeClassifier(max_depth=3)),
+        ])
+        c = clone(pipe)
+        assert c["clf"].max_depth == 3
+        assert c["clf"] is not pipe["clf"]

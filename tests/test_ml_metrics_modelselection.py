@@ -1,0 +1,245 @@
+"""Tests for metrics and model selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.metrics import (
+    accuracy_score,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    precision_recall_f1,
+    top_k_accuracy,
+)
+from repro.ml.model_selection import (
+    GridSearchCV,
+    KFold,
+    ParameterGrid,
+    StratifiedKFold,
+    cross_val_score,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy_score([0, 1, 2], [0, 1, 2]) == 1.0
+
+    def test_partial(self):
+        assert accuracy_score([0, 1, 2, 3], [0, 1, 0, 0]) == 0.5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score([0, 1], [0, 1, 2])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=50))
+    def test_property_self_accuracy(self, labels):
+        assert accuracy_score(labels, labels) == 1.0
+
+
+class TestConfusion:
+    def test_counts(self):
+        C = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        np.testing.assert_array_equal(C, [[1, 1], [0, 2]])
+
+    def test_row_sums_are_class_counts(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 4, 100)
+        p = rng.integers(0, 4, 100)
+        C = confusion_matrix(y, p, n_classes=4)
+        np.testing.assert_array_equal(C.sum(axis=1), np.bincount(y, minlength=4))
+
+    def test_explicit_n_classes(self):
+        C = confusion_matrix([0], [0], n_classes=5)
+        assert C.shape == (5, 5)
+
+    def test_labels_exceed_n_classes(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([0, 7], [0, 1], n_classes=3)
+
+    def test_trace_is_correct_count(self):
+        y = [0, 1, 2, 2, 1]
+        p = [0, 1, 0, 2, 0]
+        C = confusion_matrix(y, p)
+        assert np.trace(C) == 3
+
+
+class TestPrecisionRecallF1:
+    def test_perfect(self):
+        p, r, f = precision_recall_f1([0, 1, 1], [0, 1, 1])
+        np.testing.assert_allclose(p, 1.0)
+        np.testing.assert_allclose(f, 1.0)
+
+    def test_absent_class_zero_not_nan(self):
+        p, r, f = precision_recall_f1([0, 0, 1], [0, 0, 0], n_classes=3)
+        assert np.all(np.isfinite(p)) and np.all(np.isfinite(f))
+        assert r[1] == 0.0
+
+    def test_micro_f1_equals_accuracy(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 3, 60)
+        p = rng.integers(0, 3, 60)
+        assert f1_score(y, p, average="micro") == pytest.approx(
+            accuracy_score(y, p))
+
+    def test_macro_averages_present_classes(self):
+        f = f1_score([0, 0, 1, 1], [0, 0, 1, 1], average="macro")
+        assert f == 1.0
+
+    def test_bad_average(self):
+        with pytest.raises(ValueError):
+            f1_score([0], [0], average="weighted")
+
+
+class TestTopK:
+    def test_top1_equals_accuracy(self):
+        scores = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+        y = np.array([0, 1, 1])
+        assert top_k_accuracy(y, scores, k=1) == pytest.approx(2 / 3)
+
+    def test_topk_all_classes(self):
+        scores = np.random.default_rng(0).normal(size=(10, 4))
+        y = np.random.default_rng(1).integers(0, 4, 10)
+        assert top_k_accuracy(y, scores, k=4) == 1.0
+
+    def test_monotone_in_k(self):
+        rng = np.random.default_rng(2)
+        scores = rng.normal(size=(50, 6))
+        y = rng.integers(0, 6, 50)
+        accs = [top_k_accuracy(y, scores, k=k) for k in range(1, 7)]
+        assert all(a <= b + 1e-12 for a, b in zip(accs, accs[1:]))
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            top_k_accuracy([0], np.ones((1, 3)), k=4)
+
+
+class TestClassificationReport:
+    def test_contains_classes_and_accuracy(self):
+        rep = classification_report([0, 1, 1], [0, 1, 0],
+                                    class_names=["cat", "dog"])
+        assert "cat" in rep and "dog" in rep and "accuracy" in rep
+
+    def test_insufficient_names(self):
+        with pytest.raises(ValueError):
+            classification_report([0, 3], [0, 3], class_names=["a"])
+
+
+class TestKFold:
+    def test_partition(self):
+        X = np.arange(23)
+        folds = list(KFold(5, random_state=0).split(X))
+        assert len(folds) == 5
+        all_val = np.sort(np.concatenate([v for _, v in folds]))
+        np.testing.assert_array_equal(all_val, np.arange(23))
+
+    def test_train_val_disjoint(self):
+        X = np.arange(20)
+        for tr, va in KFold(4).split(X):
+            assert len(np.intersect1d(tr, va)) == 0
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            list(KFold(5).split(np.arange(3)))
+
+    def test_invalid_n_splits(self):
+        with pytest.raises(ValueError):
+            KFold(1)
+
+
+class TestStratifiedKFold:
+    def test_class_balance_per_fold(self):
+        y = np.repeat([0, 1], [40, 20])
+        for tr, va in StratifiedKFold(4, random_state=0).split(np.zeros(60), y):
+            frac = np.mean(y[va] == 0)
+            assert 0.55 < frac < 0.78  # population is 2/3
+
+    def test_partition(self):
+        y = np.repeat([0, 1, 2], 10)
+        folds = list(StratifiedKFold(5).split(np.zeros(30), y))
+        all_val = np.sort(np.concatenate([v for _, v in folds]))
+        np.testing.assert_array_equal(all_val, np.arange(30))
+
+    def test_rare_class_never_val_only(self):
+        """A 2-member class must appear in training for folds that hold one
+        of its members in validation."""
+        y = np.array([0] * 30 + [1, 1])
+        for tr, va in StratifiedKFold(3).split(np.zeros(32), y):
+            if np.any(y[va] == 1):
+                assert np.any(y[tr] == 1)
+
+
+class TestParameterGrid:
+    def test_product(self):
+        grid = ParameterGrid({"a": [1, 2], "b": ["x", "y", "z"]})
+        combos = list(grid)
+        assert len(combos) == len(grid) == 6
+        assert {"a": 1, "b": "z"} in combos
+
+    def test_list_of_grids(self):
+        grid = ParameterGrid([{"a": [1, 2]}, {"b": [3]}])
+        assert len(grid) == 3
+
+    def test_empty_grid(self):
+        assert list(ParameterGrid({})) == [{}]
+
+    def test_rejects_scalar_values(self):
+        with pytest.raises(TypeError):
+            ParameterGrid({"a": 5})
+
+
+class TestGridSearchCV:
+    def test_finds_better_depth(self, blobs_split):
+        from repro.ml.tree import DecisionTreeClassifier
+
+        Xtr, ytr, Xte, yte = blobs_split
+        search = GridSearchCV(
+            DecisionTreeClassifier(),
+            {"max_depth": [1, 8]},
+            cv=3,
+        )
+        search.fit(Xtr, ytr)
+        assert search.best_params_["max_depth"] == 8
+        assert search.best_score_ > 0.8
+        assert search.score(Xte, yte) > 0.8
+
+    def test_cv_results_structure(self, blobs_split):
+        from repro.ml.tree import DecisionTreeClassifier
+
+        Xtr, ytr, _, _ = blobs_split
+        search = GridSearchCV(
+            DecisionTreeClassifier(), {"max_depth": [2, 4]}, cv=3
+        ).fit(Xtr, ytr)
+        res = search.cv_results_
+        assert len(res["params"]) == 2
+        assert res["fold_scores"].shape == (2, 3)
+        assert res["mean_score"].shape == (2,)
+
+    def test_refit_false(self, blobs_split):
+        from repro.ml.tree import DecisionTreeClassifier
+
+        Xtr, ytr, _, _ = blobs_split
+        search = GridSearchCV(
+            DecisionTreeClassifier(), {"max_depth": [3]}, cv=3, refit=False
+        ).fit(Xtr, ytr)
+        assert not hasattr(search, "best_estimator_")
+        with pytest.raises(RuntimeError):
+            search.predict(Xtr)
+
+    def test_empty_grid_rejected(self, blobs_split):
+        from repro.ml.tree import DecisionTreeClassifier
+
+        Xtr, ytr, _, _ = blobs_split
+        with pytest.raises(ValueError, match="empty"):
+            GridSearchCV(DecisionTreeClassifier(), []).fit(Xtr, ytr)
+
+
+class TestCrossValScore:
+    def test_returns_fold_scores(self, blobs_split):
+        from repro.ml.tree import DecisionTreeClassifier
+
+        Xtr, ytr, _, _ = blobs_split
+        scores = cross_val_score(DecisionTreeClassifier(max_depth=6), Xtr, ytr, cv=4)
+        assert scores.shape == (4,)
+        assert scores.mean() > 0.8

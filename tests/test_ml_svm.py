@@ -1,0 +1,231 @@
+"""Tests for kernels, the SMO solver, and the SVC classifiers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.svm import SVC, BinarySVC, kernel_matrix, resolve_gamma, smo_solve
+
+
+class TestKernels:
+    def test_linear_is_dot(self):
+        rng = np.random.default_rng(0)
+        X, Z = rng.normal(size=(4, 3)), rng.normal(size=(5, 3))
+        np.testing.assert_allclose(kernel_matrix(X, Z, "linear"), X @ Z.T)
+
+    def test_rbf_diagonal_ones(self):
+        X = np.random.default_rng(1).normal(size=(6, 4))
+        K = kernel_matrix(X, X, "rbf", gamma=0.5)
+        np.testing.assert_allclose(np.diag(K), 1.0)
+
+    def test_rbf_range(self):
+        X = np.random.default_rng(2).normal(size=(10, 3))
+        K = kernel_matrix(X, X, "rbf", gamma=1.0)
+        assert K.min() >= 0.0 and K.max() <= 1.0 + 1e-12
+
+    def test_rbf_symmetry(self):
+        X = np.random.default_rng(3).normal(size=(8, 5))
+        K = kernel_matrix(X, X, "rbf", gamma=0.3)
+        np.testing.assert_allclose(K, K.T, atol=1e-12)
+
+    def test_rbf_decreases_with_distance(self):
+        X = np.array([[0.0], [1.0], [5.0]])
+        K = kernel_matrix(X[:1], X, "rbf", gamma=1.0)[0]
+        assert K[0] > K[1] > K[2]
+
+    def test_poly(self):
+        X = np.array([[1.0, 0.0]])
+        Z = np.array([[2.0, 0.0]])
+        K = kernel_matrix(X, Z, "poly", gamma=1.0, degree=2, coef0=1.0)
+        assert K[0, 0] == pytest.approx((2.0 + 1.0) ** 2)
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            kernel_matrix(np.ones((2, 2)), np.ones((2, 2)), "sigmoid")
+
+    def test_feature_mismatch(self):
+        with pytest.raises(ValueError, match="feature mismatch"):
+            kernel_matrix(np.ones((2, 3)), np.ones((2, 4)))
+
+    def test_resolve_gamma_scale(self):
+        X = np.random.default_rng(4).normal(size=(100, 5))
+        g = resolve_gamma("scale", X)
+        assert g == pytest.approx(1.0 / (5 * X.var()))
+
+    def test_resolve_gamma_auto(self):
+        assert resolve_gamma("auto", np.ones((3, 4))) == 0.25
+
+    def test_resolve_gamma_invalid(self):
+        with pytest.raises(ValueError):
+            resolve_gamma(-1.0, np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            resolve_gamma("median", np.ones((2, 2)))
+
+
+class TestSMO:
+    def _separable(self, n=40, seed=0):
+        rng = np.random.default_rng(seed)
+        X = np.vstack([
+            rng.normal(-2.0, 0.5, size=(n // 2, 2)),
+            rng.normal(2.0, 0.5, size=(n // 2, 2)),
+        ])
+        y = np.concatenate([-np.ones(n // 2), np.ones(n // 2)])
+        return X, y
+
+    def test_converges_on_separable(self):
+        X, y = self._separable()
+        K = kernel_matrix(X, X, "linear")
+        res = smo_solve(K, y, C=1.0)
+        assert res.converged
+        assert res.gap <= 1e-3
+
+    def test_kkt_box_constraints(self):
+        X, y = self._separable(seed=1)
+        K = kernel_matrix(X, X, "rbf", gamma=0.5)
+        res = smo_solve(K, y, C=2.0)
+        assert np.all(res.alpha >= -1e-12)
+        assert np.all(res.alpha <= 2.0 + 1e-12)
+
+    def test_equality_constraint(self):
+        X, y = self._separable(seed=2)
+        K = kernel_matrix(X, X, "rbf", gamma=0.5)
+        res = smo_solve(K, y, C=1.0)
+        assert abs(np.dot(res.alpha, y)) < 1e-8
+
+    def test_training_accuracy_separable(self):
+        X, y = self._separable(seed=3)
+        K = kernel_matrix(X, X, "rbf", gamma=1.0)
+        res = smo_solve(K, y, C=10.0)
+        pred = np.sign(K @ (res.alpha * y) + res.bias)
+        assert np.mean(pred == y) == 1.0
+
+    def test_rejects_single_class(self):
+        K = np.eye(4)
+        with pytest.raises(ValueError, match="both classes"):
+            smo_solve(K, np.ones(4), C=1.0)
+
+    def test_rejects_bad_labels(self):
+        K = np.eye(4)
+        with pytest.raises(ValueError, match="-1 and \\+1"):
+            smo_solve(K, np.array([0, 1, 0, 1]), C=1.0)
+
+    def test_rejects_bad_C(self):
+        X, y = self._separable()
+        K = kernel_matrix(X, X, "linear")
+        with pytest.raises(ValueError):
+            smo_solve(K, y, C=0.0)
+
+    def test_iteration_cap_respected(self):
+        X, y = self._separable(seed=4)
+        K = kernel_matrix(X, X, "rbf", gamma=0.5)
+        res = smo_solve(K, y, C=1.0, max_iter=3)
+        assert res.n_iter <= 3
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 100), st.sampled_from([0.1, 1.0, 10.0]))
+    def test_property_dual_feasible(self, seed, C):
+        X, y = self._separable(seed=seed)
+        K = kernel_matrix(X, X, "rbf", gamma=0.5)
+        res = smo_solve(K, y, C=C)
+        assert np.all((res.alpha >= -1e-10) & (res.alpha <= C + 1e-10))
+        assert abs(np.dot(res.alpha, y)) < 1e-6
+
+
+class TestBinarySVC:
+    def test_fit_predict(self):
+        rng = np.random.default_rng(5)
+        X = np.vstack([rng.normal(-1.5, 0.5, (30, 3)), rng.normal(1.5, 0.5, (30, 3))])
+        y = np.concatenate([-np.ones(30), np.ones(30)]).astype(int)
+        clf = BinarySVC(C=1.0).fit(X, y)
+        assert np.mean(clf.predict(X) == y) > 0.95
+
+    def test_support_vector_compression(self):
+        rng = np.random.default_rng(6)
+        X = np.vstack([rng.normal(-3, 0.3, (50, 2)), rng.normal(3, 0.3, (50, 2))])
+        y = np.concatenate([-np.ones(50), np.ones(50)])
+        clf = BinarySVC(C=1.0).fit(X, y)
+        # Well-separated blobs need few support vectors.
+        assert len(clf.support_vectors_) < 40
+
+    def test_rejects_non_pm1(self):
+        with pytest.raises(ValueError, match="\\{-1, \\+1\\}"):
+            BinarySVC().fit(np.ones((4, 2)), np.array([0, 1, 0, 1]))
+
+
+class TestOneVsRestSVC:
+    def test_multiclass_blobs(self, blobs_split):
+        from repro.ml.svm import OneVsRestSVC
+
+        Xtr, ytr, Xte, yte = blobs_split
+        clf = OneVsRestSVC(C=1.0).fit(Xtr, ytr)
+        assert clf.score(Xte, yte) > 0.85
+
+    def test_one_machine_per_class(self, blobs_split):
+        from repro.ml.svm import OneVsRestSVC
+
+        Xtr, ytr, _, _ = blobs_split
+        clf = OneVsRestSVC(C=1.0).fit(Xtr, ytr)
+        assert len(clf.machines_) == len(np.unique(ytr))
+
+    def test_decision_function_shape(self, blobs_split):
+        from repro.ml.svm import OneVsRestSVC
+
+        Xtr, ytr, Xte, _ = blobs_split
+        clf = OneVsRestSVC(C=1.0).fit(Xtr, ytr)
+        assert clf.decision_function(Xte[:4]).shape == (4, 3)
+
+    def test_agrees_with_ovo_on_easy_data(self, blobs_split):
+        from repro.ml.svm import OneVsRestSVC
+
+        Xtr, ytr, Xte, yte = blobs_split
+        ovr = OneVsRestSVC(C=1.0).fit(Xtr, ytr)
+        ovo = SVC(C=1.0).fit(Xtr, ytr)
+        agreement = np.mean(ovr.predict(Xte) == ovo.predict(Xte))
+        assert agreement > 0.9
+
+
+class TestSVC:
+    def test_multiclass_blobs(self, blobs_split):
+        Xtr, ytr, Xte, yte = blobs_split
+        clf = SVC(C=1.0).fit(Xtr, ytr)
+        assert clf.score(Xte, yte) > 0.9
+
+    def test_ovo_machine_count(self, blobs_split):
+        Xtr, ytr, _, _ = blobs_split
+        clf = SVC(C=1.0).fit(Xtr, ytr)
+        k = len(np.unique(ytr))
+        assert len(clf.machines_) == k * (k - 1) // 2
+
+    def test_decision_function_votes(self, blobs_split):
+        Xtr, ytr, Xte, _ = blobs_split
+        clf = SVC(C=1.0).fit(Xtr, ytr)
+        votes = clf.decision_function(Xte[:5])
+        assert votes.shape == (5, 3)
+        # Votes per sample sum to the number of pairs.
+        np.testing.assert_allclose(votes.sum(axis=1), 3.0)
+
+    def test_non_contiguous_labels(self):
+        rng = np.random.default_rng(7)
+        X = np.vstack([rng.normal(i * 3, 0.4, (20, 2)) for i in range(3)])
+        y = np.repeat([5, 10, 42], 20)
+        clf = SVC(C=1.0).fit(X, y)
+        preds = clf.predict(X)
+        assert set(np.unique(preds)) <= {5, 10, 42}
+        assert np.mean(preds == y) > 0.95
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError, match="two classes"):
+            SVC().fit(np.ones((5, 2)), np.zeros(5, dtype=int))
+
+    def test_unfitted_predict(self):
+        with pytest.raises(RuntimeError):
+            SVC().predict(np.ones((2, 2)))
+
+    def test_regularization_effect(self):
+        """Smaller C yields a smoother boundary => at least as many SVs."""
+        rng = np.random.default_rng(8)
+        X = np.vstack([rng.normal(-1, 1.0, (40, 2)), rng.normal(1, 1.0, (40, 2))])
+        y = np.concatenate([-np.ones(40), np.ones(40)])
+        soft = BinarySVC(C=0.1).fit(X, y)
+        hard = BinarySVC(C=10.0).fit(X, y)
+        assert len(soft.support_vectors_) >= len(hard.support_vectors_)

@@ -1,0 +1,70 @@
+"""Tests for model persistence."""
+
+import numpy as np
+import pytest
+
+from repro.utils.persist import load_model, save_model
+
+
+class TestPersistence:
+    def test_round_trip_fitted_forest(self, blobs_split, tmp_path):
+        from repro.ml.ensemble import RandomForestClassifier
+
+        Xtr, ytr, Xte, _ = blobs_split
+        model = RandomForestClassifier(n_estimators=10, random_state=0)
+        model.fit(Xtr, ytr)
+        path = save_model(model, tmp_path / "forest.pkl")
+        loaded = load_model(path)
+        np.testing.assert_array_equal(loaded.predict(Xte), model.predict(Xte))
+
+    def test_round_trip_pipeline(self, tmp_path):
+        from repro.models import make_rf_cov
+
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(20, 30, 7)).astype(np.float32)
+        y = rng.integers(0, 3, 20)
+        X[y == 1, :, 0] += 3.0
+        X[y == 2, :, 1] += 3.0
+        pipe = make_rf_cov(n_estimators=5).fit(X, y)
+        loaded = load_model(save_model(pipe, tmp_path / "pipe.pkl"))
+        np.testing.assert_array_equal(loaded.predict(X), pipe.predict(X))
+
+    def test_round_trip_nn_model(self, tmp_path):
+        from repro.models import LSTMClassifier
+
+        model = LSTMClassifier(n_sensors=3, seq_len=8, n_classes=2,
+                               hidden_size=4, seed=0)
+        X = np.random.default_rng(1).normal(size=(5, 8, 3)).astype(np.float32)
+        before = model.predict(X)
+        loaded = load_model(save_model(model, tmp_path / "lstm.pkl"))
+        np.testing.assert_array_equal(loaded.predict(X), before)
+
+    def test_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "junk.pkl"
+        path.write_bytes(b"not a pickle at all")
+        with pytest.raises(ValueError, match="not a repro model"):
+            load_model(path)
+
+    def test_rejects_plain_pickle(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "plain.pkl"
+        path.write_bytes(pickle.dumps({"just": "a dict"}))
+        with pytest.raises(ValueError, match="not a repro model"):
+            load_model(path)
+
+    def test_version_mismatch_warns(self, tmp_path, monkeypatch):
+        from repro.ml.preprocessing import StandardScaler
+
+        path = save_model(StandardScaler(), tmp_path / "scaler.pkl")
+        import repro
+
+        monkeypatch.setattr(repro, "__version__", "999.0.0")
+        with pytest.warns(UserWarning, match="saved with repro"):
+            load_model(path)
+
+    def test_creates_parent_dirs(self, tmp_path):
+        from repro.ml.preprocessing import StandardScaler
+
+        path = save_model(StandardScaler(), tmp_path / "deep" / "dir" / "m.pkl")
+        assert path.exists()

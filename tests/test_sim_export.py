@@ -1,0 +1,72 @@
+"""Tests for the CSV release exporter."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.simcluster.cluster import ClusterSimulator
+from repro.simcluster.export import (
+    SCHEDULER_COLUMNS,
+    export_job_telemetry,
+    export_release,
+    export_scheduler_log,
+)
+from repro.simcluster.sensors import GPU_SENSORS
+
+
+@pytest.fixture(scope="module")
+def release(tiny_sim_config):
+    return ClusterSimulator(tiny_sim_config).generate()
+
+
+class TestSchedulerExport:
+    def test_header_and_rows(self, release, tmp_path):
+        jobs, log = release
+        path = export_scheduler_log(log, tmp_path / "scheduler.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert tuple(rows[0]) == SCHEDULER_COLUMNS
+        assert len(rows) - 1 == len(log)
+
+    def test_no_raw_usernames(self, release, tmp_path):
+        """Anonymization: exported identities are hex hashes."""
+        jobs, log = release
+        path = export_scheduler_log(log, tmp_path / "scheduler.csv")
+        with path.open() as handle:
+            next(handle)
+            for line in handle:
+                user_hash = line.split(",")[1]
+                assert not user_hash.startswith("user")
+                int(user_hash, 16)  # must parse as hex
+
+
+class TestTelemetryExport:
+    def test_per_gpu_files(self, release, tmp_path):
+        jobs, _ = release
+        job = next(j for j in jobs if len(j.gpu_series) > 1)
+        paths = export_job_telemetry(job, tmp_path)
+        gpu_paths = [p for p in paths if "gpu" in p.parent.name]
+        assert len(gpu_paths) == len(job.gpu_series)
+
+    def test_gpu_csv_round_trip(self, release, tmp_path):
+        jobs, _ = release
+        job = jobs[0]
+        paths = export_job_telemetry(job, tmp_path)
+        gpu_path = paths[0]
+        with gpu_path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["timestamp_s", *(s.name for s in GPU_SENSORS)]
+        data = np.array([[float(v) for v in r[1:]] for r in rows[1:]])
+        np.testing.assert_allclose(data, job.gpu_series[0].data, atol=1e-3)
+        # Timestamps offset by the job's start time.
+        t0 = float(rows[1][0])
+        assert t0 == pytest.approx(job.record.start_time_s, abs=1e-3)
+
+    def test_full_release_counts(self, release, tmp_path):
+        jobs, log = release
+        counts = export_release(jobs, log, tmp_path)
+        assert counts["gpu_series"] == log.total_gpu_series()
+        assert counts["cpu_series"] == len(jobs)
+        assert (tmp_path / "scheduler.csv").exists()
+        assert len(list((tmp_path / "gpu").glob("*.csv"))) == counts["gpu_series"]

@@ -1,0 +1,129 @@
+"""Tests for sensor schemas and the architecture registry (Tables I–III,
+VII–IX)."""
+
+import numpy as np
+import pytest
+
+from repro.simcluster.architectures import (
+    ARCHITECTURES,
+    Family,
+    N_CLASSES,
+    architecture_names,
+    class_index,
+    get_architecture,
+    job_count_table,
+)
+from repro.simcluster.sensors import (
+    CPU_METRICS,
+    GPU_SENSORS,
+    N_CPU_METRICS,
+    N_GPU_SENSORS,
+    gpu_sensor_index,
+)
+
+
+class TestGpuSensors:
+    def test_seven_sensors(self):
+        """Table III / Table IV: seven GPU sensors."""
+        assert N_GPU_SENSORS == 7
+
+    def test_paper_order(self):
+        """'element 0 is utilization_gpu_pct, element 1 is
+        utilization_memory_pct, etc.'"""
+        names = [s.name for s in GPU_SENSORS]
+        assert names == [
+            "utilization_gpu_pct",
+            "utilization_memory_pct",
+            "memory_free_MiB",
+            "memory_used_MiB",
+            "temperature_gpu",
+            "temperature_memory",
+            "power_draw_W",
+        ]
+
+    def test_index_lookup(self):
+        assert gpu_sensor_index("power_draw_W") == 6
+        assert gpu_sensor_index("utilization_gpu_pct") == 0
+
+    def test_unknown_sensor(self):
+        with pytest.raises(KeyError, match="unknown GPU sensor"):
+            gpu_sensor_index("nope")
+
+    def test_ranges_sane(self):
+        for spec in GPU_SENSORS:
+            assert spec.lo < spec.hi
+
+    def test_clip(self):
+        util = GPU_SENSORS[0]
+        out = util.clip(np.array([-5.0, 50.0, 200.0]))
+        assert out.min() >= 0.0 and out.max() <= 100.0
+
+
+class TestCpuMetrics:
+    def test_eight_metrics(self):
+        """Table II lists eight CPU metrics."""
+        assert N_CPU_METRICS == 8
+
+    def test_names(self):
+        names = [m.name for m in CPU_METRICS]
+        assert names == [
+            "CPUFrequency", "CPUTime", "CPUUtilization", "RSS",
+            "VMSize", "Pages", "ReadMB", "WriteMB",
+        ]
+
+
+class TestArchitectureRegistry:
+    def test_26_classes(self):
+        """'twenty six distinct classes of neural networks'."""
+        assert N_CLASSES == 26
+
+    def test_family_job_totals_match_table1(self):
+        """Family sums must equal Table I job counts."""
+        table = job_count_table()
+        totals = {fam: sum(v.values()) for fam, v in table.items()}
+        assert totals["VGG"] == 560
+        # Table VIII's per-variant ResNet counts sum to 463 (Table I says
+        # 464 — a paper-internal off-by-one); we follow the appendix.
+        assert totals["ResNet"] == 463
+        assert totals["Inception"] == 484
+        assert totals["U-Net"] == 1431
+        # NLP follows Table I (189 + 172); Table IX disagrees, but only the
+        # Table I values make the release total the stated 3,430 jobs.
+        assert totals["NLP"] == 189 + 172
+        assert totals["GNN"] == 33 + 39 + 27 + 32
+        assert sum(totals.values()) == 3430
+
+    def test_unet_has_nine_variants(self):
+        unet = [a for a in ARCHITECTURES if a.family is Family.UNET]
+        assert len(unet) == 9
+        assert {a.name for a in unet} == {
+            f"U{d}-{f}" for d in (3, 4, 5) for f in (32, 64, 128)
+        }
+
+    def test_class_index_round_trip(self):
+        for i, spec in enumerate(ARCHITECTURES):
+            assert class_index(spec.name) == i
+            assert get_architecture(i) is spec
+            assert get_architecture(spec.name) is spec
+
+    def test_names_unique(self):
+        names = architecture_names()
+        assert len(set(names)) == len(names) == 26
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            class_index("AlexNet")
+
+    def test_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            get_architecture(26)
+
+    def test_relative_sizes_in_unit_range(self):
+        for spec in ARCHITECTURES:
+            assert 0.0 < spec.relative_size <= 1.0
+
+    def test_each_family_has_max_size_variant(self):
+        """Every family's largest variant anchors at relative_size 1.0."""
+        for fam in Family:
+            sizes = [a.relative_size for a in ARCHITECTURES if a.family is fam]
+            assert max(sizes) == 1.0

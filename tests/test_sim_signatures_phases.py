@@ -1,0 +1,142 @@
+"""Tests for class signatures and the phase-schedule model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simcluster.architectures import ARCHITECTURES, get_architecture
+from repro.simcluster.phases import (
+    Phase,
+    PhaseKind,
+    PhaseSchedule,
+    build_phase_schedule,
+)
+from repro.simcluster.signatures import signature_for
+
+
+class TestSignatures:
+    def test_deterministic(self):
+        spec = get_architecture("VGG16")
+        assert signature_for(spec) == signature_for(spec)
+
+    def test_all_classes_have_distinct_signatures(self):
+        sigs = [signature_for(a) for a in ARCHITECTURES]
+        # At least the (util_mean, step_period, mem_used) triple must be
+        # unique per class — that's the core discriminability assumption.
+        keys = {(round(s.util_mean, 4), round(s.step_period_s, 4),
+                 round(s.mem_used_mib, 1)) for s in sigs}
+        assert len(keys) == len(ARCHITECTURES)
+
+    def test_physical_ranges(self):
+        for a in ARCHITECTURES:
+            s = signature_for(a)
+            assert 0 < s.util_mean <= 100
+            assert s.util_amp > 0
+            assert s.step_period_s > 0
+            assert 0 < s.duty < 1
+            assert 0 < s.mem_used_mib < 32_510
+            assert 0 < s.mem_util_mean <= 100
+            assert 0 <= s.mem_util_coupling <= 1
+            assert s.epoch_period_s > 0
+            assert 0 <= s.epoch_dip_depth <= 1
+            assert s.power_base_w > 0 and s.power_per_util > 0
+            assert s.startup_alloc_steps >= 1
+
+    def test_bigger_variant_higher_util_within_family(self):
+        """Within a family, the largest variant should sustain at least as
+        much utilization as the smallest (size-driven separation)."""
+        for fam_members in (
+            ["VGG11", "VGG19"],
+            ["ResNet50", "ResNet152_v2"],
+            ["U3-32", "U5-128"],
+        ):
+            lo = signature_for(get_architecture(fam_members[0]))
+            hi = signature_for(get_architecture(fam_members[1]))
+            assert hi.util_mean > lo.util_mean
+            assert hi.mem_used_mib > lo.mem_used_mib
+
+    def test_gnn_low_utilization(self):
+        """GNNs are sparse, spiky workloads in our model."""
+        gnn = signature_for(get_architecture("NNConv"))
+        nlp = signature_for(get_architecture("Bert"))
+        assert gnn.util_mean < nlp.util_mean
+
+
+class TestPhaseValidation:
+    def test_phase_positive_duration(self):
+        with pytest.raises(ValueError, match="non-positive"):
+            Phase(PhaseKind.TRAIN, 5.0, 5.0)
+
+    def test_schedule_rejects_gap(self):
+        phases = (
+            Phase(PhaseKind.STARTUP, 0.0, 10.0),
+            Phase(PhaseKind.TRAIN, 12.0, 20.0),
+        )
+        with pytest.raises(ValueError, match="gap"):
+            PhaseSchedule(phases, 20.0)
+
+    def test_schedule_rejects_wrong_total(self):
+        phases = (Phase(PhaseKind.STARTUP, 0.0, 10.0),)
+        with pytest.raises(ValueError, match="total"):
+            PhaseSchedule(phases, 20.0)
+
+
+class TestBuildSchedule:
+    def _sig(self):
+        return signature_for(get_architecture("ResNet50"))
+
+    def test_covers_duration(self):
+        sched = build_phase_schedule(self._sig(), 300.0, np.random.default_rng(0))
+        assert sched.phases[0].start_s == 0.0
+        assert sched.phases[-1].end_s == pytest.approx(300.0)
+
+    def test_starts_with_startup_ends_with_cooldown(self):
+        sched = build_phase_schedule(self._sig(), 300.0, np.random.default_rng(1))
+        assert sched.phases[0].kind is PhaseKind.STARTUP
+        assert sched.phases[-1].kind is PhaseKind.COOLDOWN
+
+    def test_contains_training(self):
+        sched = build_phase_schedule(self._sig(), 300.0, np.random.default_rng(2))
+        kinds = {p.kind for p in sched.phases}
+        assert PhaseKind.TRAIN in kinds
+        assert PhaseKind.WARMUP in kinds
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError, match="too short"):
+            build_phase_schedule(self._sig(), 20.0, np.random.default_rng(0),
+                                 startup_mean_s=40.0)
+
+    def test_kind_at_vectorized(self):
+        sched = build_phase_schedule(self._sig(), 300.0, np.random.default_rng(3))
+        t = np.linspace(0, 299.9, 500)
+        codes = sched.kind_at(t)
+        assert codes.shape == (500,)
+        # First timestamp is startup.
+        assert codes[0] == list(PhaseKind).index(PhaseKind.STARTUP)
+
+    def test_mask_partition(self):
+        """Every timestamp belongs to exactly one phase kind."""
+        sched = build_phase_schedule(self._sig(), 300.0, np.random.default_rng(4))
+        t = np.linspace(0, 299.9, 400)
+        total = np.zeros(400, dtype=int)
+        for kind in PhaseKind:
+            total += sched.mask(t, kind).astype(int)
+        np.testing.assert_array_equal(total, np.ones(400, dtype=int))
+
+    def test_first_lookup(self):
+        sched = build_phase_schedule(self._sig(), 300.0, np.random.default_rng(5))
+        assert sched.first(PhaseKind.STARTUP).start_s == 0.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000), st.floats(min_value=150.0, max_value=900.0))
+    def test_property_schedule_wellformed(self, seed, total_s):
+        """Any seed/duration yields a contiguous, monotone schedule."""
+        sched = build_phase_schedule(
+            self._sig(), total_s, np.random.default_rng(seed)
+        )
+        t = 0.0
+        for ph in sched.phases:
+            assert ph.start_s == pytest.approx(t)
+            assert ph.end_s > ph.start_s
+            t = ph.end_s
+        assert t == pytest.approx(total_s)

@@ -1,0 +1,52 @@
+"""Property tests for the online classifier's emission cadence."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.streaming import OnlineWorkloadClassifier
+
+
+class _Always7:
+    def predict(self, X):
+        return np.full(X.shape[0], 7, dtype=np.int64)
+
+
+class TestEmissionCadence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=10, max_value=60),   # window
+        st.integers(min_value=1, max_value=30),    # hop
+        st.integers(min_value=0, max_value=200),   # total samples
+    )
+    def test_emission_count_formula(self, window, hop, total):
+        """Emissions: one at window-fill, then one per completed hop."""
+        clf = OnlineWorkloadClassifier(model=_Always7(), window=window,
+                                       hop=hop, vote_window=3)
+        preds = clf.push(np.zeros((total, 7)))
+        if total < window:
+            expected = 0
+        else:
+            expected = 1 + (total - window) // hop
+        assert len(preds) == expected
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=1, max_value=40))
+    def test_incremental_equals_bulk(self, chunk):
+        """Feeding sample-by-sample or in chunks yields identical emissions."""
+        data = np.random.default_rng(0).normal(size=(150, 7))
+        bulk = OnlineWorkloadClassifier(model=_Always7(), window=30, hop=10)
+        bulk_preds = bulk.push(data)
+        inc = OnlineWorkloadClassifier(model=_Always7(), window=30, hop=10)
+        inc_preds = []
+        for start in range(0, len(data), chunk):
+            inc_preds.extend(inc.push(data[start : start + chunk]))
+        assert [p.sample_index for p in inc_preds] == \
+            [p.sample_index for p in bulk_preds]
+        assert [p.label for p in inc_preds] == [p.label for p in bulk_preds]
+
+    def test_constant_model_full_confidence(self):
+        clf = OnlineWorkloadClassifier(model=_Always7(), window=20, hop=5,
+                                       vote_window=4)
+        preds = clf.push(np.zeros((60, 7)))
+        assert preds[-1].confidence == 1.0
+        assert preds[-1].smoothed_label == 7

@@ -1,0 +1,111 @@
+"""Tests for repro.utils.rng: determinism and stream independence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.rng import SeedSequenceFactory, as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_int_seed_reproducible(self):
+        a = as_generator(123).normal(size=5)
+        b = as_generator(123).normal(size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).normal(size=5)
+        b = as_generator(2).normal(size=5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            as_generator(-1)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_generator("seed")
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 7)) == 7
+
+    def test_children_independent_of_sibling_draws(self):
+        gens_a = spawn_generators(5, 3)
+        gens_b = spawn_generators(5, 3)
+        # Burn numbers from a sibling in one set only.
+        gens_a[0].normal(size=100)
+        np.testing.assert_array_equal(
+            gens_a[2].normal(size=4), gens_b[2].normal(size=4)
+        )
+
+    def test_children_mutually_distinct(self):
+        gens = spawn_generators(9, 4)
+        draws = [g.normal(size=8) for g in gens]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not np.array_equal(draws[i], draws[j])
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_zero_count_ok(self):
+        assert spawn_generators(0, 0) == []
+
+
+class TestSeedSequenceFactory:
+    def test_same_name_same_stream(self):
+        f = SeedSequenceFactory(77)
+        a = f.stream("noise").normal(size=6)
+        b = f.stream("noise").normal(size=6)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_names_different_streams(self):
+        f = SeedSequenceFactory(77)
+        a = f.stream("noise").normal(size=6)
+        b = f.stream("schedule").normal(size=6)
+        assert not np.array_equal(a, b)
+
+    def test_streams_order_independent(self):
+        f1 = SeedSequenceFactory(3)
+        f2 = SeedSequenceFactory(3)
+        _ = f1.stream("a").normal(size=50)  # extra draws elsewhere
+        np.testing.assert_array_equal(
+            f1.stream("target").normal(size=4),
+            f2.stream("target").normal(size=4),
+        )
+
+    def test_root_seed_changes_streams(self):
+        a = SeedSequenceFactory(1).stream("x").normal(size=4)
+        b = SeedSequenceFactory(2).stream("x").normal(size=4)
+        assert not np.array_equal(a, b)
+
+    def test_child_factory_deterministic(self):
+        a = SeedSequenceFactory(10).child("job-1").stream("s").normal(size=3)
+        b = SeedSequenceFactory(10).child("job-1").stream("s").normal(size=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_negative_root_rejected(self):
+        with pytest.raises(ValueError):
+            SeedSequenceFactory(-5)
+
+    def test_streams_dict(self):
+        f = SeedSequenceFactory(4)
+        d = f.streams(["a", "b"])
+        assert set(d) == {"a", "b"}
+
+    @given(st.integers(min_value=0, max_value=2**40),
+           st.text(min_size=1, max_size=20))
+    def test_property_stream_reproducible(self, seed, name):
+        a = SeedSequenceFactory(seed).stream(name).integers(0, 1000, size=3)
+        b = SeedSequenceFactory(seed).stream(name).integers(0, 1000, size=3)
+        np.testing.assert_array_equal(a, b)

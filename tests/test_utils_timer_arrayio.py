@@ -1,0 +1,102 @@
+"""Tests for repro.utils.timer and repro.utils.arrayio."""
+
+import numpy as np
+import pytest
+
+from repro.utils.arrayio import CHALLENGE_KEYS, load_npz_dataset, save_npz_dataset
+from repro.utils.timer import Timer, format_duration
+
+
+class TestFormatDuration:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (5e-7, "0.5us"),
+            (0.0123, "12.3ms"),
+            (3.5, "3.50s"),
+            (125.0, "2m05.0s"),
+        ],
+    )
+    def test_units(self, seconds, expected):
+        assert format_duration(seconds) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_duration(-1.0)
+
+
+class TestTimer:
+    def test_context_elapsed(self):
+        with Timer() as t:
+            sum(range(10000))
+        assert t.elapsed > 0
+
+    def test_laps_accumulate(self):
+        t = Timer()
+        with t.lap("a"):
+            pass
+        with t.lap("a"):
+            pass
+        with t.lap("b"):
+            pass
+        assert set(t.laps) == {"a", "b"}
+        assert t.total() >= t.laps["a"]
+
+    def test_report_contains_laps(self):
+        t = Timer()
+        with t.lap("stage1"):
+            pass
+        assert "stage1" in t.report()
+
+
+def _toy_arrays(n_train=6, n_test=3, t=10, s=4):
+    rng = np.random.default_rng(0)
+    return dict(
+        X_train=rng.normal(size=(n_train, t, s)).astype(np.float32),
+        y_train=rng.integers(0, 3, size=n_train),
+        model_train=np.array([f"m{i % 3}" for i in range(n_train)]),
+        X_test=rng.normal(size=(n_test, t, s)).astype(np.float32),
+        y_test=rng.integers(0, 3, size=n_test),
+        model_test=np.array([f"m{i % 3}" for i in range(n_test)]),
+    )
+
+
+class TestNpzIO:
+    def test_round_trip(self, tmp_path):
+        arrays = _toy_arrays()
+        path = save_npz_dataset(tmp_path / "ds.npz", **arrays)
+        loaded = load_npz_dataset(path)
+        assert set(loaded) == set(CHALLENGE_KEYS)
+        np.testing.assert_array_equal(loaded["X_train"], arrays["X_train"])
+        np.testing.assert_array_equal(loaded["model_test"], arrays["model_test"])
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = save_npz_dataset(tmp_path / "deep" / "dir" / "ds.npz", **_toy_arrays())
+        assert path.exists()
+
+    def test_rejects_2d_X(self, tmp_path):
+        arrays = _toy_arrays()
+        arrays["X_train"] = arrays["X_train"].reshape(6, -1)
+        with pytest.raises(ValueError, match="3-D"):
+            save_npz_dataset(tmp_path / "bad.npz", **arrays)
+
+    def test_rejects_count_mismatch(self, tmp_path):
+        arrays = _toy_arrays()
+        arrays["y_train"] = arrays["y_train"][:-1]
+        with pytest.raises(ValueError, match="inconsistent"):
+            save_npz_dataset(tmp_path / "bad.npz", **arrays)
+
+    def test_rejects_window_mismatch(self, tmp_path):
+        arrays = _toy_arrays()
+        arrays["X_test"] = arrays["X_test"][:, :5, :]
+        with pytest.raises(ValueError, match="window shapes"):
+            save_npz_dataset(tmp_path / "bad.npz", **arrays)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_npz_dataset(tmp_path / "nope.npz")
+
+    def test_load_missing_keys(self, tmp_path):
+        np.savez(tmp_path / "partial.npz", X_train=np.ones((1, 2, 3)))
+        with pytest.raises(KeyError, match="missing challenge keys"):
+            load_npz_dataset(tmp_path / "partial.npz")

@@ -1,0 +1,124 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_2d,
+    check_3d,
+    check_array,
+    check_consistent_length,
+    check_labels,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckArray:
+    def test_passthrough(self):
+        X = np.ones((3, 2))
+        out = check_array(X)
+        assert out.shape == (3, 2)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_array(np.array([1.0, np.nan]))
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            check_array(np.array([1.0, np.inf]))
+
+    def test_allow_nan(self):
+        out = check_array(np.array([1.0, np.nan]), allow_nan=True)
+        assert np.isnan(out[1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            check_array(np.empty((0, 3)))
+
+    def test_copy_flag(self):
+        X = np.ones(4)
+        assert check_array(X, copy=True) is not X
+
+    def test_dtype_coercion(self):
+        out = check_array([1, 2, 3])
+        assert out.dtype == np.float64
+
+
+class TestCheckDims:
+    def test_2d_accepts(self):
+        assert check_2d(np.ones((4, 3))).shape == (4, 3)
+
+    def test_2d_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_2d(np.ones(5))
+
+    def test_2d_rejects_3d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_2d(np.ones((2, 3, 4)))
+
+    def test_3d_accepts(self):
+        assert check_3d(np.ones((2, 3, 4))).shape == (2, 3, 4)
+
+    def test_3d_rejects_2d(self):
+        with pytest.raises(ValueError, match="3-D"):
+            check_3d(np.ones((3, 4)))
+
+
+class TestConsistentLength:
+    def test_ok(self):
+        check_consistent_length(np.ones(3), np.zeros(3))
+
+    def test_mismatch(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            check_consistent_length(np.ones(3), np.zeros(4))
+
+    def test_names_in_message(self):
+        with pytest.raises(ValueError, match="X=3.*y=4"):
+            check_consistent_length(np.ones(3), np.zeros(4), names=("X", "y"))
+
+
+class TestCheckLabels:
+    def test_int_labels(self):
+        out = check_labels([0, 1, 2])
+        assert out.dtype == np.int64
+
+    def test_float_integral_ok(self):
+        out = check_labels(np.array([0.0, 1.0]))
+        assert out.dtype == np.int64
+
+    def test_float_fractional_rejected(self):
+        with pytest.raises(ValueError, match="integer"):
+            check_labels(np.array([0.5, 1.0]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            check_labels(np.zeros((2, 2), dtype=int))
+
+    def test_n_samples_enforced(self):
+        with pytest.raises(ValueError, match="3 labels for 5"):
+            check_labels([0, 1, 2], n_samples=5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            check_labels(np.array([], dtype=int))
+
+
+class TestScalars:
+    def test_probability_ok(self):
+        assert check_probability(0.5, name="p") == 0.5
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_probability_bad(self, bad):
+        with pytest.raises(ValueError):
+            check_probability(bad, name="p")
+
+    def test_positive_strict(self):
+        assert check_positive(2, name="x") == 2
+        with pytest.raises(ValueError):
+            check_positive(0, name="x")
+
+    def test_positive_nonstrict(self):
+        assert check_positive(0, name="x", strict=False) == 0
+        with pytest.raises(ValueError):
+            check_positive(-1, name="x", strict=False)
