@@ -26,6 +26,9 @@ Subpackages
     The paper's baseline configurations (Sections IV & V).
 ``repro.core``
     Challenge protocol, evaluation, leaderboard, baseline harnesses.
+``repro.serve``
+    Fleet-scale streaming inference: model registry, micro-batching
+    server, metrics, deterministic load generator.
 ``repro.parallel``
     Process-pool map and shared-memory arrays.
 """

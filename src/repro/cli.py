@@ -1,12 +1,15 @@
 """Command-line interface.
 
-Three subcommands cover the common workflows end to end::
+Four subcommands cover the common workflows end to end::
 
-    python -m repro simulate  --scale 0.05 --npz-dir release/ --csv-dir logs/
-    python -m repro evaluate  --model rf_cov --dataset 60-middle-1 --scale 0.05
-    python -m repro efficiency --scale 0.02
+    python -m repro simulate    --scale 0.05 --npz-dir release/ --csv-dir logs/
+    python -m repro evaluate    --model rf_cov --dataset 60-middle-1 --scale 0.05
+    python -m repro efficiency  --scale 0.02
+    python -m repro serve-bench --scale 0.02 --jobs 50
 
-All commands are deterministic for a given ``--seed``.
+All commands are deterministic for a given ``--seed`` (``serve-bench``
+wall-clock throughput varies with the machine; every classification,
+batch, and shed decision does not).
 """
 
 from __future__ import annotations
@@ -55,6 +58,36 @@ def build_parser() -> argparse.ArgumentParser:
                            help="per-job-type power-efficiency analysis "
                                 "(Section IV-B's suggestion)")
     add_common(p_eff)
+
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="train a quick RF+Cov model, register it, and replay a "
+             "simulated fleet through the micro-batching inference server",
+    )
+    add_common(p_serve)
+    p_serve.add_argument("--jobs", type=int, default=50,
+                         help="concurrent simulated job streams (default 50)")
+    p_serve.add_argument("--rate", type=int, default=90,
+                         help="telemetry samples per job per tick "
+                              "(default 90 = 10 s at 9 Hz)")
+    p_serve.add_argument("--max-batch", type=int, default=64,
+                         help="micro-batch flush size (default 64)")
+    p_serve.add_argument("--deadline-s", type=float, default=30.0,
+                         help="micro-batch flush deadline in simulated "
+                              "seconds (default 30)")
+    p_serve.add_argument("--queue", type=int, default=2048,
+                         help="ingress queue capacity in chunks (default 2048)")
+    p_serve.add_argument("--policy", choices=("shed-oldest", "reject"),
+                         default="shed-oldest",
+                         help="admission policy when the queue is full")
+    p_serve.add_argument("--trees", type=int, default=30,
+                         help="random-forest size for the quick model")
+    p_serve.add_argument("--max-samples", type=int, default=1620,
+                         help="cap each job's replayed stream (default 1620 "
+                              "= 3 minutes at 9 Hz)")
+    p_serve.add_argument("--registry-dir",
+                         help="model registry directory (default: a "
+                              "temporary directory)")
     return parser
 
 
@@ -130,6 +163,86 @@ def _cmd_efficiency(args) -> int:
     return 0
 
 
+def _cmd_serve_bench(args) -> int:
+    import tempfile
+    import time
+
+    from repro.data import build_challenge_suite
+    from repro.data.labelled import build_labelled_dataset
+    from repro.models import make_rf_cov
+    from repro.serve import (
+        FleetLoadGenerator,
+        InferenceServer,
+        ModelRegistry,
+        ServeConfig,
+    )
+
+    # 1. Offline: simulate a release and fit the paper's best traditional
+    #    baseline on one challenge dataset.
+    sim = SimulationConfig(seed=args.seed, trials_scale=args.scale)
+    labelled = build_labelled_dataset(sim)
+    suite = build_challenge_suite(labelled, seed=args.seed,
+                                  names=("60-random-1",))
+    ds = suite["60-random-1"]
+    model = make_rf_cov(n_estimators=args.trees, random_state=0)
+    tic = time.perf_counter()
+    model.fit(ds.X_train, ds.y_train)
+    print(f"fitted rf_cov({args.trees} trees) on {ds.n_train} windows "
+          f"in {time.perf_counter() - tic:.1f}s")
+
+    # 2. Publish + fetch through the registry (round-trips via disk).
+    registry_dir = args.registry_dir or tempfile.mkdtemp(prefix="repro-registry-")
+    registry = ModelRegistry(registry_dir)
+    version = registry.register("rf_cov", model)
+    served_model = registry.get("rf_cov")
+    print(f"registered rf_cov v{version} in {registry_dir}")
+
+    # 3. Replay a simulated fleet through the micro-batching server.
+    window = ds.n_samples
+    eligible = labelled.eligible(window)
+    gen = FleetLoadGenerator(
+        [t.series for t in eligible.trials],
+        [t.label for t in eligible.trials],
+        n_jobs=args.jobs,
+        samples_per_tick=args.rate,
+        max_samples_per_job=args.max_samples,
+        seed=args.seed,
+    )
+    server = InferenceServer(
+        served_model,
+        ServeConfig(
+            window=window,
+            max_batch=args.max_batch,
+            flush_deadline_s=args.deadline_s,
+            queue_capacity=args.queue,
+            admission=args.policy,
+        ),
+        clock=gen.clock,
+    )
+    report = gen.run(server)
+
+    shed = server.metrics.counter("ingress.shed").value
+    rejected = server.metrics.counter("ingress.rejected").value
+    latency = server.metrics.histogram("latency.window_s").summary()
+    print(f"\nfleet: {args.jobs} jobs, {report.n_ticks} ticks "
+          f"({report.sim_seconds:.0f}s simulated), "
+          f"{report.n_predictions} windows classified")
+    print(f"throughput: {report.windows_per_second:,.0f} windows/s "
+          f"({report.wall_seconds:.2f}s wall)")
+    if latency.get("count"):
+        print(f"latency (simulated): p50={latency['p50']:.1f}s "
+              f"p95={latency['p95']:.1f}s p99={latency['p99']:.1f}s")
+    print(f"predict calls: {server.batcher.n_predict_calls} batched vs "
+          f"{server.batcher.n_windows} per-session "
+          f"({server.batcher.n_windows / max(1, server.batcher.n_predict_calls):.1f}"
+          " windows/call)")
+    print(f"shed: {shed} chunks, rejected: {rejected} chunks")
+    print(f"fleet smoothed-label accuracy: {report.smoothed_accuracy():.2%}")
+    print("\nmetrics\n-------")
+    print(server.metrics.report())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -137,6 +250,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "evaluate": _cmd_evaluate,
         "efficiency": _cmd_efficiency,
+        "serve-bench": _cmd_serve_bench,
     }
     return handlers[args.command](args)
 

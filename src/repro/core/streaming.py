@@ -10,7 +10,7 @@ with confidence), exactly how an operator-facing service would run.
 
 from __future__ import annotations
 
-from collections import Counter
+from collections import Counter, deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -51,9 +51,9 @@ class OnlineWorkloadClassifier:
     window: int = 540
     hop: int = 90
     vote_window: int = 5
-    _buffer: list[np.ndarray] = field(default_factory=list, repr=False)
+    _buffer: deque = field(default=None, repr=False)
     _since_last: int = field(default=0, repr=False)
-    _votes: list[int] = field(default_factory=list, repr=False)
+    _votes: deque = field(default=None, repr=False)
     _n_seen: int = field(default=0, repr=False)
 
     def __post_init__(self):
@@ -61,6 +61,10 @@ class OnlineWorkloadClassifier:
             raise ValueError("window, hop and vote_window must be >= 1")
         if not hasattr(self.model, "predict"):
             raise TypeError("model must expose predict()")
+        # deques with maxlen make the per-sample slide O(1); the old
+        # list.pop(0) cost O(window) per sample.
+        self._buffer = deque(maxlen=self.window)
+        self._votes = deque(maxlen=self.vote_window)
 
     # ------------------------------------------------------------------
     def push(self, samples: np.ndarray) -> list[StreamPrediction]:
@@ -78,8 +82,6 @@ class OnlineWorkloadClassifier:
         out: list[StreamPrediction] = []
         for row in samples:
             self._buffer.append(row)
-            if len(self._buffer) > self.window:
-                self._buffer.pop(0)
             self._n_seen += 1
             self._since_last += 1
             buffer_full = len(self._buffer) == self.window
@@ -94,8 +96,6 @@ class OnlineWorkloadClassifier:
         window = np.stack(self._buffer)[None, :, :]
         label = int(np.asarray(self.model.predict(window))[0])
         self._votes.append(label)
-        if len(self._votes) > self.vote_window:
-            self._votes.pop(0)
         counts = Counter(self._votes)
         smoothed, n_agree = counts.most_common(1)[0]
         return StreamPrediction(

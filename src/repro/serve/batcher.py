@@ -1,0 +1,134 @@
+"""Micro-batching engine: one ``predict`` per tick, not per session.
+
+Tree-ensemble and NN pipelines in this repo are vectorized — classifying
+``(n, 540, 7)`` costs far less than ``n`` separate ``(1, 540, 7)`` calls
+(Python dispatch, per-call feature extraction setup, cache-cold trees).
+The batcher exploits that: ready windows from *different* job sessions
+accumulate in a queue and are stacked into a single model call when either
+the batch fills (``max_batch``) or the oldest queued window has waited
+``max_delay_s`` on the serving clock — the classic throughput/latency
+micro-batching trade-off, both knobs explicit.
+
+The engine is synchronous and clock-injected, so tests and the load
+generator replay identical schedules deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.session import WindowRequest
+
+__all__ = ["BatchCompletion", "MicroBatcher"]
+
+
+@dataclass(frozen=True)
+class BatchCompletion:
+    """One classified window leaving the batcher."""
+
+    request: WindowRequest
+    label: int
+    waited_s: float             # queue time from submit to flush
+
+
+class MicroBatcher:
+    """Coalesce window requests across sessions into batched predictions.
+
+    Parameters
+    ----------
+    model:
+        Fitted estimator with ``predict`` over ``(n, window, sensors)``.
+    max_batch:
+        Flush as soon as this many windows are queued.
+    max_delay_s:
+        Flush (on ``poll``) once the oldest queued window has waited this
+        long, even if the batch is not full.
+    clock:
+        Monotonic time source; injectable for deterministic replay.
+    metrics:
+        Optional :class:`~repro.serve.metrics.MetricsRegistry`; records
+        ``batch.size``/``batch.wait_s`` histograms and call counters.
+    """
+
+    def __init__(
+        self,
+        model,
+        *,
+        max_batch: int = 64,
+        max_delay_s: float = 0.25,
+        clock=time.monotonic,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if not hasattr(model, "predict"):
+            raise TypeError("model must expose predict()")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay_s < 0:
+            raise ValueError(f"max_delay_s must be >= 0, got {max_delay_s}")
+        self.model = model
+        self.max_batch = max_batch
+        self.max_delay_s = max_delay_s
+        self.clock = clock
+        self.metrics = metrics
+        self._queue: list[tuple[WindowRequest, float]] = []
+        self.n_predict_calls = 0
+        self.n_windows = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, request: WindowRequest) -> list[BatchCompletion]:
+        """Queue one window; flushes immediately when the batch fills."""
+        self._queue.append((request, self.clock()))
+        if len(self._queue) >= self.max_batch:
+            return self._flush_batch()
+        return []
+
+    def poll(self) -> list[BatchCompletion]:
+        """Flush if the oldest queued window has exceeded the deadline."""
+        if not self._queue:
+            return []
+        waited = self.clock() - self._queue[0][1]
+        if waited >= self.max_delay_s:
+            return self._flush_batch()
+        return []
+
+    def drain(self) -> list[BatchCompletion]:
+        """Flush everything queued, regardless of deadlines (shutdown)."""
+        out: list[BatchCompletion] = []
+        while self._queue:
+            out.extend(self._flush_batch())
+        return out
+
+    @property
+    def queued(self) -> int:
+        """Windows currently waiting for a batch."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    def _flush_batch(self) -> list[BatchCompletion]:
+        batch, self._queue = self._queue[: self.max_batch], self._queue[self.max_batch:]
+        now = self.clock()
+        stacked = np.stack([req.window for req, _ in batch])
+        labels = np.asarray(self.model.predict(stacked)).astype(np.int64)
+        if labels.shape != (len(batch),):
+            raise ValueError(
+                f"model.predict returned shape {labels.shape} for a "
+                f"batch of {len(batch)}"
+            )
+        self.n_predict_calls += 1
+        self.n_windows += len(batch)
+        if self.metrics is not None:
+            self.metrics.counter("batch.predict_calls").inc()
+            self.metrics.counter("batch.windows").inc(len(batch))
+            self.metrics.histogram("batch.size").observe(len(batch))
+        out = []
+        for (req, submitted_s), label in zip(batch, labels):
+            waited = now - submitted_s
+            if self.metrics is not None:
+                self.metrics.histogram("batch.wait_s").observe(waited)
+            out.append(BatchCompletion(request=req, label=int(label),
+                                       waited_s=waited))
+        return out

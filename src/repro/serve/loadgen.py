@@ -1,0 +1,246 @@
+"""Deterministic fleet load generator for the inference server.
+
+Replays :mod:`repro.simcluster` telemetry as ``n_jobs`` concurrent job
+streams against an :class:`~repro.serve.server.InferenceServer`: each
+simulated job is assigned a (seeded) labelled GPU series and a staggered
+start tick, then every tick delivers ``samples_per_tick`` rows per active
+job — i.e. a fleet polling cadence of ``samples_per_tick / 9`` seconds at
+the paper's 9 Hz sampling rate.  Time is a :class:`SimulatedClock` shared
+with the server, so batching deadlines, latencies, and shed decisions are
+bit-for-bit reproducible for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serve.server import Emission, InferenceServer
+from repro.simcluster.workload import DEFAULT_DT_S
+from repro.utils.rng import as_generator
+
+__all__ = ["SimulatedClock", "LoadReport", "FleetLoadGenerator"]
+
+
+class SimulatedClock:
+    """Manually advanced monotonic clock (callable like ``time.monotonic``)."""
+
+    def __init__(self, start_s: float = 0.0):
+        self._now = float(start_s)
+
+    def __call__(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, dt_s: float) -> float:
+        """Move time forward by ``dt_s`` seconds; returns the new time."""
+        if dt_s < 0:
+            raise ValueError(f"dt_s must be >= 0, got {dt_s}")
+        self._now += dt_s
+        return self._now
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one fleet replay."""
+
+    emissions: list[Emission]
+    n_jobs: int
+    n_ticks: int
+    sim_seconds: float          # simulated stream duration
+    wall_seconds: float         # real compute time for the whole replay
+    true_labels: dict = field(default_factory=dict)
+
+    @property
+    def n_predictions(self) -> int:
+        """Total predictions emitted across the fleet."""
+        return len(self.emissions)
+
+    @property
+    def windows_per_second(self) -> float:
+        """Serving throughput: classified windows per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return float("nan")
+        return self.n_predictions / self.wall_seconds
+
+    def final_smoothed(self) -> dict:
+        """Last smoothed label per job — the operator's fleet view."""
+        out: dict = {}
+        for emission in self.emissions:
+            out[emission.job_id] = emission.prediction.smoothed_label
+        return out
+
+    def smoothed_accuracy(self) -> float:
+        """Fraction of jobs whose final smoothed label is correct."""
+        final = self.final_smoothed()
+        scored = [
+            int(final[job]) == int(label)
+            for job, label in self.true_labels.items()
+            if job in final
+        ]
+        return sum(scored) / len(scored) if scored else float("nan")
+
+
+class FleetLoadGenerator:
+    """Replay labelled telemetry as a fleet of concurrent job streams.
+
+    Parameters
+    ----------
+    series:
+        Candidate telemetry series, each ``(n_samples, 7)``; jobs draw
+        from these (with replacement) under the generator's seed.
+    labels:
+        True class label per series (for the report's accuracy view).
+    n_jobs:
+        Concurrent simulated job streams.
+    samples_per_tick:
+        Telemetry rows delivered per job per tick (90 = 10 s at 9 Hz).
+    max_samples_per_job:
+        Truncate each stream to this many rows (None = full series).
+    stagger_ticks:
+        Each job starts at a seeded random tick in ``[0, stagger_ticks]``,
+        desynchronizing window boundaries across the fleet.
+    seed:
+        Drives series assignment and stagger; fixes the whole replay.
+    """
+
+    def __init__(
+        self,
+        series: list[np.ndarray],
+        labels: list[int] | None = None,
+        *,
+        n_jobs: int = 16,
+        samples_per_tick: int = 90,
+        max_samples_per_job: int | None = None,
+        stagger_ticks: int = 3,
+        seed: int = 0,
+    ):
+        if not series:
+            raise ValueError("need at least one telemetry series")
+        if n_jobs < 1:
+            raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+        if samples_per_tick < 1:
+            raise ValueError(
+                f"samples_per_tick must be >= 1, got {samples_per_tick}"
+            )
+        self.series = [np.asarray(s, dtype=np.float64) for s in series]
+        self.labels = list(labels) if labels is not None else None
+        if self.labels is not None and len(self.labels) != len(self.series):
+            raise ValueError("labels and series lengths differ")
+        self.n_jobs = n_jobs
+        self.samples_per_tick = samples_per_tick
+        self.max_samples_per_job = max_samples_per_job
+        self.tick_s = samples_per_tick * DEFAULT_DT_S
+        self.clock = SimulatedClock()
+        rng = as_generator(seed)
+        self._assignment = rng.integers(0, len(self.series), size=n_jobs)
+        self._start_tick = rng.integers(0, stagger_ticks + 1, size=n_jobs)
+
+    @classmethod
+    def from_simulation(
+        cls,
+        config=None,
+        *,
+        n_jobs: int = 16,
+        min_samples: int = 540,
+        **kwargs,
+    ) -> "FleetLoadGenerator":
+        """Build a generator from a fresh :mod:`repro.simcluster` run.
+
+        ``config`` is a :class:`~repro.simcluster.cluster.SimulationConfig`
+        (or None for defaults); only trials with at least ``min_samples``
+        rows are replayed, mirroring the release's eligibility rule.
+        """
+        from repro.data.labelled import build_labelled_dataset
+
+        labelled = build_labelled_dataset(config).eligible(min_samples)
+        if not len(labelled.trials):
+            raise ValueError(
+                f"simulation produced no trials with >= {min_samples} samples"
+            )
+        return cls(
+            [t.series for t in labelled.trials],
+            [t.label for t in labelled.trials],
+            n_jobs=n_jobs,
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    def job_stream(self, job: int) -> np.ndarray:
+        """The telemetry series replayed by simulated job ``job``."""
+        data = self.series[int(self._assignment[job])]
+        if self.max_samples_per_job is not None:
+            data = data[: self.max_samples_per_job]
+        return data
+
+    def true_label(self, job: int) -> int | None:
+        """True class of job ``job``'s series (None when labels absent)."""
+        if self.labels is None:
+            return None
+        return int(self.labels[int(self._assignment[job])])
+
+    @property
+    def n_ticks(self) -> int:
+        """Ticks until every job's stream is exhausted."""
+        ticks = 0
+        for job in range(self.n_jobs):
+            n = self.job_stream(job).shape[0]
+            chunks = -(-n // self.samples_per_tick)        # ceil division
+            ticks = max(ticks, int(self._start_tick[job]) + chunks)
+        return ticks
+
+    def run(
+        self,
+        server: InferenceServer,
+        *,
+        end_sessions: bool = True,
+    ) -> LoadReport:
+        """Drive ``server`` through the whole fleet replay.
+
+        The server must share this generator's :attr:`clock` (pass
+        ``clock=gen.clock`` when constructing it).  Each tick submits one
+        chunk per active job, steps the server, then advances simulated
+        time; a final ``drain`` flushes partial batches.
+        """
+        if server.clock is not self.clock:
+            raise ValueError(
+                "server must be constructed with clock=generator.clock "
+                "for a deterministic replay"
+            )
+        emissions: list[Emission] = []
+        finished: set[int] = set()
+        tic = time.perf_counter()
+        for tick in range(self.n_ticks):
+            for job in range(self.n_jobs):
+                start_tick = int(self._start_tick[job])
+                if tick < start_tick or job in finished:
+                    continue
+                stream = self.job_stream(job)
+                lo = (tick - start_tick) * self.samples_per_tick
+                chunk = stream[lo: lo + self.samples_per_tick]
+                if chunk.shape[0]:
+                    server.submit(job, chunk)
+                if lo + self.samples_per_tick >= stream.shape[0]:
+                    finished.add(job)
+            emissions.extend(server.step())
+            self.clock.advance(self.tick_s)
+        emissions.extend(server.drain())
+        if end_sessions:
+            for job in range(self.n_jobs):
+                server.end_session(job)
+        wall = time.perf_counter() - tic
+        true = {
+            job: self.true_label(job)
+            for job in range(self.n_jobs)
+            if self.true_label(job) is not None
+        }
+        return LoadReport(
+            emissions=emissions,
+            n_jobs=self.n_jobs,
+            n_ticks=self.n_ticks,
+            sim_seconds=self.n_ticks * self.tick_s,
+            wall_seconds=wall,
+            true_labels=true,
+        )

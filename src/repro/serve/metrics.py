@@ -1,0 +1,177 @@
+"""Serving observability: counters, gauges, and histograms.
+
+Fleet-scale monitoring lives or dies on cheap, always-on metrics (the
+lesson of large-cluster reliability studies): every admission decision,
+batch flush, and prediction emission in :mod:`repro.serve` increments a
+metric here.  The registry renders both a machine-readable dict and the
+operator-facing text report printed by ``repro serve-bench``.
+
+Everything is plain Python — no background threads, no sampling clocks —
+so recorded values are exactly reproducible for a deterministic workload.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing event count."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (default 1) events; ``n`` must be non-negative."""
+        if n < 0:
+            raise ValueError(f"counter increment must be >= 0, got {n}")
+        self.value += n
+
+
+@dataclass
+class Gauge:
+    """Point-in-time level (queue depth, warm models, active sessions)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the current level."""
+        self.value = value
+
+
+@dataclass
+class Histogram:
+    """Distribution of observations with percentile summaries.
+
+    Observations are kept exactly (bounded by ``capacity``); once full,
+    every second retained sample is dropped and the stride between kept
+    samples doubles — a deterministic decimation that preserves coverage
+    of the whole run without unbounded memory.
+    """
+
+    name: str
+    capacity: int = 65536
+    _values: list[float] = field(default_factory=list, repr=False)
+    _stride: int = field(default=1, repr=False)
+    _seen_since_kept: int = field(default=0, repr=False)
+    count: int = 0
+    total: float = 0.0
+
+    def __post_init__(self):
+        if self.capacity < 2:
+            raise ValueError(f"capacity must be >= 2, got {self.capacity}")
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(f"observation must be finite, got {value}")
+        self.count += 1
+        self.total += value
+        self._seen_since_kept += 1
+        if self._seen_since_kept >= self._stride:
+            self._values.append(value)
+            self._seen_since_kept = 0
+            if len(self._values) >= self.capacity:
+                self._values = self._values[::2]
+                self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (NaN when empty)."""
+        return self.total / self.count if self.count else float("nan")
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile ``q`` in [0, 100] over retained samples."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self._values:
+            return float("nan")
+        ordered = sorted(self._values)
+        rank = max(0, math.ceil(q / 100.0 * len(ordered)) - 1)
+        return ordered[rank]
+
+    def summary(self) -> dict:
+        """Count, mean, min/max and the p50/p95/p99 operator percentiles."""
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": min(self._values),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "max": max(self._values),
+        }
+
+
+class MetricsRegistry:
+    """Named metric store shared across the serving components.
+
+    ``counter``/``gauge``/``histogram`` create on first use and return the
+    existing instrument afterwards, so components can reference metrics by
+    name without wiring ceremony.
+    """
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called ``name``."""
+        return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge called ``name``."""
+        return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(self, name: str, *, capacity: int = 65536) -> Histogram:
+        """Get or create the histogram called ``name``."""
+        return self._histograms.setdefault(
+            name, Histogram(name, capacity=capacity))
+
+    def as_dict(self) -> dict:
+        """Snapshot every metric as plain values (histograms summarized)."""
+        out: dict = {}
+        for name, c in sorted(self._counters.items()):
+            out[name] = c.value
+        for name, g in sorted(self._gauges.items()):
+            out[name] = g.value
+        for name, h in sorted(self._histograms.items()):
+            out[name] = h.summary()
+        return out
+
+    def report(self) -> str:
+        """Operator-facing text report, one metric per line."""
+        lines: list[str] = []
+        width = max(
+            (len(n) for n in (*self._counters, *self._gauges, *self._histograms)),
+            default=0,
+        )
+        for name, c in sorted(self._counters.items()):
+            lines.append(f"{name:<{width}}  {c.value}")
+        for name, g in sorted(self._gauges.items()):
+            lines.append(f"{name:<{width}}  {g.value:g}")
+        for name, h in sorted(self._histograms.items()):
+            s = h.summary()
+            if s["count"] == 0:
+                lines.append(f"{name:<{width}}  (no observations)")
+                continue
+            lines.append(
+                f"{name:<{width}}  n={s['count']} mean={s['mean']:.4g} "
+                f"p50={s['p50']:.4g} p95={s['p95']:.4g} "
+                f"p99={s['p99']:.4g} max={s['max']:.4g}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,146 @@
+"""Versioned model registry with lazy loading and a warm-model LRU.
+
+The serving substrate needs a place where training jobs publish fitted
+pipelines and inference servers fetch them by ``name`` (+ optional
+``version``).  Storage is a plain directory tree —
+``<root>/<name>/v<version>.pkl`` written via :mod:`repro.utils.persist` —
+so a registry survives process restarts and can be rsync'd between
+machines.  Loaded models are cached in a small LRU of *warm* models:
+fleets serve a handful of hot pipelines out of many registered versions,
+and deserializing a forest per request would dwarf the predict cost.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.utils.persist import load_model, save_model
+
+__all__ = ["ModelRegistry"]
+
+_VERSION_FILE = re.compile(r"^v(\d+)\.pkl$")
+
+
+class ModelRegistry:
+    """Directory-backed ``name -> version -> fitted model`` store.
+
+    Parameters
+    ----------
+    root:
+        Registry directory (created on first ``register``).
+    warm_capacity:
+        Maximum number of deserialized models kept in memory.  Least
+        recently used entries are evicted first.
+    """
+
+    def __init__(self, root: str | Path, *, warm_capacity: int = 4):
+        if warm_capacity < 1:
+            raise ValueError(f"warm_capacity must be >= 1, got {warm_capacity}")
+        self.root = Path(root)
+        self.warm_capacity = warm_capacity
+        self._warm: OrderedDict[tuple[str, int], object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # -- publishing ----------------------------------------------------
+    def register(self, name: str, model, *, version: int | None = None) -> int:
+        """Save ``model`` under ``name``; returns the assigned version.
+
+        ``version=None`` auto-increments past the latest registered
+        version (starting at 1).  Explicitly re-registering an existing
+        version overwrites it and invalidates any warm copy.
+        """
+        self._check_name(name)
+        if version is None:
+            existing = self.versions(name)
+            version = (existing[-1] + 1) if existing else 1
+        elif version < 1:
+            raise ValueError(f"version must be >= 1, got {version}")
+        save_model(model, self._path(name, version))
+        self._warm.pop((name, version), None)
+        return version
+
+    # -- fetching ------------------------------------------------------
+    def get(self, name: str, version: int | None = None):
+        """Return the model for ``name`` (latest version by default).
+
+        Loads lazily from disk on a cold hit and promotes the model in
+        the warm LRU; raises ``KeyError`` for unknown names/versions.
+        """
+        if version is None:
+            version = self.latest_version(name)
+        key = (name, version)
+        if key in self._warm:
+            self.hits += 1
+            self._warm.move_to_end(key)
+            return self._warm[key]
+        self.misses += 1
+        path = self._path(name, version)
+        if not path.is_file():
+            raise KeyError(f"no model {name!r} version {version} in {self.root}")
+        model = load_model(path)
+        self._warm[key] = model
+        while len(self._warm) > self.warm_capacity:
+            self._warm.popitem(last=False)
+        return model
+
+    # -- catalogue -----------------------------------------------------
+    def names(self) -> list[str]:
+        """Registered model names, sorted."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            p.name for p in self.root.iterdir() if p.is_dir() and self.versions(p.name)
+        )
+
+    def versions(self, name: str) -> list[int]:
+        """Sorted registered versions of ``name`` (empty when unknown)."""
+        self._check_name(name)
+        model_dir = self.root / name
+        if not model_dir.is_dir():
+            return []
+        out = []
+        for p in model_dir.iterdir():
+            m = _VERSION_FILE.match(p.name)
+            if m:
+                out.append(int(m.group(1)))
+        return sorted(out)
+
+    def latest_version(self, name: str) -> int:
+        """Highest registered version of ``name``; ``KeyError`` if none."""
+        versions = self.versions(name)
+        if not versions:
+            raise KeyError(f"no model named {name!r} in {self.root}")
+        return versions[-1]
+
+    def __contains__(self, name: str) -> bool:
+        return bool(self.versions(name))
+
+    # -- cache management ----------------------------------------------
+    @property
+    def warm_count(self) -> int:
+        """Number of models currently deserialized in memory."""
+        return len(self._warm)
+
+    def evict(self, name: str, version: int | None = None) -> int:
+        """Drop warm copies of ``name`` (one version or all); returns count."""
+        keys = [
+            k for k in self._warm
+            if k[0] == name and (version is None or k[1] == version)
+        ]
+        for k in keys:
+            del self._warm[k]
+        return len(keys)
+
+    # -- internals -----------------------------------------------------
+    def _path(self, name: str, version: int) -> Path:
+        return self.root / name / f"v{version}.pkl"
+
+    @staticmethod
+    def _check_name(name: str) -> None:
+        if not re.fullmatch(r"[A-Za-z0-9._-]+", name):
+            raise ValueError(
+                f"model name must match [A-Za-z0-9._-]+, got {name!r}"
+            )

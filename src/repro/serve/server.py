@@ -1,0 +1,216 @@
+"""Synchronous-core inference server: ingress, admission, batching, drain.
+
+:class:`InferenceServer` is the assembly point of :mod:`repro.serve`: a
+bounded ingress queue in front of per-job :class:`StreamSession` state,
+with every due window routed through the shared :class:`MicroBatcher`.
+The core is deliberately synchronous — ``submit`` enqueues, ``step``
+processes — because determinism is a feature here (the load generator
+replays identical fleets, tests pin exact shed counts) and an async or
+threaded front-end can wrap this core without changing its semantics.
+
+Admission control implements the two classic overload policies:
+
+* ``"shed-oldest"`` — drop the oldest queued chunk to admit the new one
+  (freshness wins; stale telemetry is the least valuable).
+* ``"reject"`` — refuse the new chunk (``submit`` returns ``False``),
+  pushing backpressure to the caller.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.streaming import StreamPrediction
+from repro.serve.batcher import BatchCompletion, MicroBatcher
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.session import StreamSession
+
+__all__ = ["ServeConfig", "Emission", "InferenceServer"]
+
+_ADMISSION_POLICIES = ("shed-oldest", "reject")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tuning knobs for one :class:`InferenceServer`.
+
+    Window semantics (``window``/``hop``/``vote_window``) are per session
+    and mirror :class:`~repro.core.streaming.OnlineWorkloadClassifier`;
+    ``max_batch``/``flush_deadline_s`` bound the micro-batcher;
+    ``queue_capacity``/``admission`` govern ingress overload behavior.
+    """
+
+    window: int = 540
+    hop: int = 90
+    vote_window: int = 5
+    max_batch: int = 64
+    flush_deadline_s: float = 0.25
+    queue_capacity: int = 1024
+    admission: str = "shed-oldest"
+
+    def __post_init__(self):
+        if self.admission not in _ADMISSION_POLICIES:
+            raise ValueError(
+                f"admission must be one of {_ADMISSION_POLICIES}, "
+                f"got {self.admission!r}"
+            )
+        if self.queue_capacity < 1:
+            raise ValueError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+
+
+@dataclass(frozen=True)
+class Emission:
+    """One prediction leaving the server."""
+
+    job_id: object
+    prediction: StreamPrediction
+    latency_s: float            # window-ready to prediction-out, server clock
+
+
+class InferenceServer:
+    """Multi-tenant streaming classifier over a shared micro-batcher.
+
+    Parameters
+    ----------
+    model:
+        Fitted estimator with ``predict`` over ``(n, window, sensors)``
+        (typically fetched from a :class:`~repro.serve.registry.ModelRegistry`).
+    config:
+        A :class:`ServeConfig`; defaults are challenge-shaped (540/90/5).
+    clock:
+        Monotonic time source, injectable for deterministic replay.
+    metrics:
+        Optional shared :class:`MetricsRegistry`; one is created when
+        omitted and exposed as ``server.metrics``.
+    """
+
+    def __init__(
+        self,
+        model,
+        config: ServeConfig | None = None,
+        *,
+        clock=time.monotonic,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.config = config or ServeConfig()
+        self.clock = clock
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.batcher = MicroBatcher(
+            model,
+            max_batch=self.config.max_batch,
+            max_delay_s=self.config.flush_deadline_s,
+            clock=clock,
+            metrics=self.metrics,
+        )
+        self._sessions: dict[object, StreamSession] = {}
+        self._ingress: deque[tuple[object, np.ndarray]] = deque()
+        self._draining = False
+
+    # -- ingress -------------------------------------------------------
+    def submit(self, job_id, samples) -> bool:
+        """Enqueue a telemetry chunk for ``job_id``; False when rejected.
+
+        Applies the configured admission policy when the ingress queue is
+        at capacity.  Chunks are processed on the next :meth:`step`.
+        """
+        if self._draining:
+            raise RuntimeError("server is draining; no new work accepted")
+        samples = np.atleast_2d(np.asarray(samples, dtype=np.float64))
+        self.metrics.counter("ingress.chunks").inc()
+        if len(self._ingress) >= self.config.queue_capacity:
+            if self.config.admission == "reject":
+                self.metrics.counter("ingress.rejected").inc()
+                return False
+            self._ingress.popleft()
+            self.metrics.counter("ingress.shed").inc()
+        self._ingress.append((job_id, samples))
+        self.metrics.counter("ingress.samples").inc(samples.shape[0])
+        self.metrics.gauge("ingress.depth").set(len(self._ingress))
+        return True
+
+    # -- processing ----------------------------------------------------
+    def step(self) -> list[Emission]:
+        """Process all queued ingress, flush due batches, emit predictions."""
+        now = self.clock()
+        completions: list[BatchCompletion] = []
+        while self._ingress:
+            job_id, samples = self._ingress.popleft()
+            session = self._session(job_id)
+            for request in session.push(samples, now_s=now):
+                completions.extend(self.batcher.submit(request))
+        completions.extend(self.batcher.poll())
+        self.metrics.gauge("ingress.depth").set(0)
+        return self._emit(completions)
+
+    def drain(self) -> list[Emission]:
+        """Graceful shutdown: consume remaining ingress, force-flush batches.
+
+        After ``drain`` the server refuses new ``submit`` calls until
+        :meth:`reopen`.
+        """
+        emissions = self.step()
+        self._draining = True
+        emissions.extend(self._emit(self.batcher.drain()))
+        return emissions
+
+    def reopen(self) -> None:
+        """Accept new work again after a :meth:`drain`."""
+        self._draining = False
+
+    # -- sessions ------------------------------------------------------
+    def end_session(self, job_id) -> bool:
+        """Discard per-job state (job finished); True when one existed.
+
+        Any windows already queued in the batcher still complete and emit.
+        """
+        existed = self._sessions.pop(job_id, None) is not None
+        self.metrics.gauge("sessions.active").set(len(self._sessions))
+        return existed
+
+    @property
+    def n_sessions(self) -> int:
+        """Currently tracked job sessions."""
+        return len(self._sessions)
+
+    @property
+    def queue_depth(self) -> int:
+        """Chunks waiting in the ingress queue."""
+        return len(self._ingress)
+
+    def _session(self, job_id) -> StreamSession:
+        session = self._sessions.get(job_id)
+        if session is None:
+            session = StreamSession(
+                session_id=job_id,
+                window=self.config.window,
+                hop=self.config.hop,
+                vote_window=self.config.vote_window,
+            )
+            self._sessions[job_id] = session
+            self.metrics.counter("sessions.opened").inc()
+            self.metrics.gauge("sessions.active").set(len(self._sessions))
+        return session
+
+    # -- emission ------------------------------------------------------
+    def _emit(self, completions: list[BatchCompletion]) -> list[Emission]:
+        now = self.clock()
+        out: list[Emission] = []
+        for completion in completions:
+            request = completion.request
+            session = self._sessions.get(request.session_id)
+            if session is None:        # session ended while batch in flight
+                self.metrics.counter("predictions.orphaned").inc()
+                continue
+            prediction = session.complete(request, completion.label)
+            latency = now - request.created_s
+            self.metrics.counter("predictions.emitted").inc()
+            self.metrics.histogram("latency.window_s").observe(latency)
+            out.append(Emission(job_id=request.session_id,
+                                prediction=prediction, latency_s=latency))
+        return out

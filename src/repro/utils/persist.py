@@ -40,12 +40,17 @@ def save_model(model, path: str | Path) -> Path:
 def load_model(path: str | Path):
     """Load an estimator saved by :func:`save_model`.
 
-    Raises ``ValueError`` for files that are not repro model archives;
+    Raises ``FileNotFoundError`` (with the resolved path) for missing
+    files, ``ValueError`` for files that are not repro model archives;
     warns (but proceeds) when the saving library version differs.
     """
     import repro
 
     path = Path(path)
+    if not path.is_file():
+        raise FileNotFoundError(
+            f"no model file at {path} (resolved: {path.resolve()})"
+        )
     with path.open("rb") as handle:
         try:
             payload = pickle.load(handle)

@@ -68,3 +68,10 @@ class TestPersistence:
 
         path = save_model(StandardScaler(), tmp_path / "deep" / "dir" / "m.pkl")
         assert path.exists()
+
+    def test_missing_file_raises_with_resolved_path(self, tmp_path):
+        missing = tmp_path / "nope" / "absent.pkl"
+        with pytest.raises(FileNotFoundError, match="no model file"):
+            load_model(missing)
+        with pytest.raises(FileNotFoundError, match="absent.pkl"):
+            load_model(missing)
