@@ -2,14 +2,15 @@
 
 Four subcommands cover the common workflows end to end::
 
-    python -m repro simulate    --scale 0.05 --npz-dir release/ --csv-dir logs/
-    python -m repro evaluate    --model rf_cov --dataset 60-middle-1 --scale 0.05
-    python -m repro efficiency  --scale 0.02
-    python -m repro serve-bench --scale 0.02 --jobs 50
+    python -m repro simulate      --scale 0.05 --npz-dir release/ --csv-dir logs/
+    python -m repro evaluate      --model rf_cov --dataset 60-middle-1 --scale 0.05
+    python -m repro efficiency    --scale 0.02
+    python -m repro serve-bench   --scale 0.02 --jobs 50
+    python -m repro monitor-bench --scale 0.02 --jobs 24 --challenger good
 
-All commands are deterministic for a given ``--seed`` (``serve-bench``
-wall-clock throughput varies with the machine; every classification,
-batch, and shed decision does not).
+All commands are deterministic for a given ``--seed`` (``serve-bench`` and
+``monitor-bench`` wall-clock throughput varies with the machine; every
+classification, batch, shed, drift and rollout decision does not).
 """
 
 from __future__ import annotations
@@ -88,6 +89,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--registry-dir",
                          help="model registry directory (default: a "
                               "temporary directory)")
+
+    p_mon = sub.add_parser(
+        "monitor-bench",
+        help="champion-vs-challenger rollout under injected telemetry "
+             "drift: detection latency, shadow agreement, canary "
+             "promotion/rollback, alert timeline",
+    )
+    add_common(p_mon)
+    p_mon.add_argument("--jobs", type=int, default=24,
+                       help="concurrent simulated job streams (default 24)")
+    p_mon.add_argument("--trees", type=int, default=30,
+                       help="random-forest size for champion/challenger")
+    p_mon.add_argument("--challenger", choices=("good", "bad"),
+                       default="good",
+                       help="'good' retrains the baseline (should be "
+                            "promoted); 'bad' scrambles labels (should be "
+                            "rolled back)")
+    p_mon.add_argument("--max-samples", type=int, default=2700,
+                       help="replayed stream length per job (default 2700 "
+                            "= 5 minutes at 9 Hz)")
+    p_mon.add_argument("--drift-start", type=int, default=1080,
+                       help="stream sample where injected drift begins "
+                            "(default 1080 = 2 minutes)")
+    p_mon.add_argument("--drift-gain", type=float, default=1.6,
+                       help="sensor gain at full ramp (default 1.6)")
+    p_mon.add_argument("--drift-offset", type=float, default=0.0,
+                       help="sensor additive offset at full ramp")
+    p_mon.add_argument("--drift-ramp", type=int, default=270,
+                       help="samples over which the drift ramps in")
+    p_mon.add_argument("--class-shift", type=float, default=0.0,
+                       help="fraction of jobs switching workload class at "
+                            "the drift offset (default 0)")
+    p_mon.add_argument("--canary-fraction", type=float, default=0.4,
+                       help="fraction of sessions routed to the "
+                            "challenger during canary (default 0.4)")
+    p_mon.add_argument("--registry-dir",
+                       help="model registry directory (default: a "
+                            "temporary directory)")
     return parser
 
 
@@ -243,6 +282,37 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
+def _cmd_monitor_bench(args) -> int:
+    from repro.monitor import MonitorBenchConfig, run_monitor_bench
+
+    config = MonitorBenchConfig(
+        seed=args.seed,
+        scale=args.scale,
+        trees=args.trees,
+        challenger=args.challenger,
+        registry_dir=args.registry_dir,
+        n_jobs=args.jobs,
+        max_samples_per_job=args.max_samples,
+        drift_start=args.drift_start,
+        drift_ramp=args.drift_ramp,
+        drift_gain=args.drift_gain,
+        drift_offset=args.drift_offset,
+        class_shift_fraction=args.class_shift,
+        canary_fraction=args.canary_fraction,
+    )
+    report = run_monitor_bench(config)
+    print(f"trained champion + {args.challenger} challenger "
+          f"({args.trees} trees) in {report.fit_seconds:.1f}s; "
+          f"registry v{report.champion_version} active at start\n")
+    print(report.format())
+    # Sanity line for scripts/CI: the expected terminal decision.
+    expected = "promoted" if args.challenger == "good" else "rolled_back"
+    verdict = "as expected" if report.state == expected else (
+        f"UNEXPECTED (wanted {expected})")
+    print(f"\nrollout verdict: {report.state} — {verdict}")
+    return 0 if report.state == expected else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -251,6 +321,7 @@ def main(argv: list[str] | None = None) -> int:
         "evaluate": _cmd_evaluate,
         "efficiency": _cmd_efficiency,
         "serve-bench": _cmd_serve_bench,
+        "monitor-bench": _cmd_monitor_bench,
     }
     return handlers[args.command](args)
 

@@ -45,12 +45,18 @@ class OnlineWorkloadClassifier:
         Re-classify every ``hop`` new samples once the buffer is full.
     vote_window:
         Number of recent window predictions pooled by the majority vote.
+    monitor:
+        Optional per-sample tap with an ``update(row)`` method (e.g. a
+        :class:`~repro.monitor.drift.SensorDriftDetector`): every pushed
+        row is forwarded to it, so single-stream deployments get drift
+        detection without a second consumer of the telemetry.
     """
 
     model: object
     window: int = 540
     hop: int = 90
     vote_window: int = 5
+    monitor: object = None
     _buffer: deque = field(default=None, repr=False)
     _since_last: int = field(default=0, repr=False)
     _votes: deque = field(default=None, repr=False)
@@ -61,6 +67,8 @@ class OnlineWorkloadClassifier:
             raise ValueError("window, hop and vote_window must be >= 1")
         if not hasattr(self.model, "predict"):
             raise TypeError("model must expose predict()")
+        if self.monitor is not None and not hasattr(self.monitor, "update"):
+            raise TypeError("monitor must expose update(row)")
         # deques with maxlen make the per-sample slide O(1); the old
         # list.pop(0) cost O(window) per sample.
         self._buffer = deque(maxlen=self.window)
@@ -81,6 +89,8 @@ class OnlineWorkloadClassifier:
             )
         out: list[StreamPrediction] = []
         for row in samples:
+            if self.monitor is not None:
+                self.monitor.update(row)
             self._buffer.append(row)
             self._n_seen += 1
             self._since_last += 1

@@ -1,0 +1,119 @@
+"""Thresholded alerting over :class:`~repro.serve.metrics.MetricsRegistry`.
+
+Detectors and evaluators produce numbers; operators act on *transitions*.
+An :class:`AlertRule` is a predicate over one metric in a registry
+snapshot (``"ingress.shed" > 0``, ``"latency.window_s.p95" > 45``,
+``"monitor.shadow.agreement" < 0.6``); the :class:`AlertManager`
+evaluates every rule per tick and emits the classic two-phase lifecycle:
+a rule that holds for ``for_ticks`` consecutive evaluations **fires**
+once, stays active silently, and **resolves** once when it stops holding.
+The debounce matters: a single shed chunk or one slow batch should not
+page anyone.
+
+Histogram metrics are addressed by summary field — the metric path
+``latency.window_s.p95`` splits into the instrument name and the
+``summary()`` key.  A metric absent from the snapshot (instrument not
+created yet) evaluates as not-breached rather than erroring, so rules can
+be declared before traffic starts.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+
+__all__ = ["AlertRule", "AlertEvent", "AlertManager"]
+
+_OPS = {
+    ">": operator.gt,
+    ">=": operator.ge,
+    "<": operator.lt,
+    "<=": operator.le,
+    "==": operator.eq,
+}
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One threshold predicate over a metric snapshot.
+
+    ``metric`` is either a plain instrument name (counter/gauge value) or
+    ``<histogram name>.<summary key>`` (e.g. ``latency.window_s.p99``).
+    """
+
+    name: str
+    metric: str
+    op: str
+    threshold: float
+    for_ticks: int = 1          # consecutive breaching evaluations to fire
+    description: str = ""
+
+    def __post_init__(self):
+        if self.op not in _OPS:
+            raise ValueError(f"op must be one of {sorted(_OPS)}, got {self.op!r}")
+        if self.for_ticks < 1:
+            raise ValueError(f"for_ticks must be >= 1, got {self.for_ticks}")
+
+    def breached(self, snapshot: dict) -> tuple[bool, float | None]:
+        """Evaluate against ``MetricsRegistry.as_dict()`` output.
+
+        Returns ``(breached, observed_value)``; a missing metric (or a
+        histogram with no observations) is ``(False, None)``.
+        """
+        value = snapshot.get(self.metric)
+        if value is None and "." in self.metric:
+            name, _, key = self.metric.rpartition(".")
+            summary = snapshot.get(name)
+            if isinstance(summary, dict):
+                value = summary.get(key)
+        if isinstance(value, dict) or value is None:
+            return False, None
+        return _OPS[self.op](value, self.threshold), float(value)
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """A lifecycle transition: ``kind`` is ``"firing"`` or ``"resolved"``."""
+
+    rule: str
+    kind: str
+    at_s: float
+    value: float | None         # metric value at the transition
+
+
+@dataclass
+class AlertManager:
+    """Evaluate a rule set against a metrics registry, tick by tick."""
+
+    rules: list[AlertRule]
+    metrics: object             # MetricsRegistry (anything with as_dict())
+    timeline: list[AlertEvent] = field(default_factory=list)
+    _streak: dict = field(default_factory=dict, repr=False)
+    _active: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self):
+        names = [r.name for r in self.rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate rule names in {names}")
+
+    def evaluate(self, now_s: float = 0.0) -> list[AlertEvent]:
+        """Run every rule once; returns the transitions from this tick."""
+        snapshot = self.metrics.as_dict()
+        events: list[AlertEvent] = []
+        for rule in self.rules:
+            breached, value = rule.breached(snapshot)
+            streak = self._streak.get(rule.name, 0) + 1 if breached else 0
+            self._streak[rule.name] = streak
+            firing = rule.name in self._active
+            if breached and not firing and streak >= rule.for_ticks:
+                self._active[rule.name] = now_s
+                events.append(AlertEvent(rule.name, "firing", now_s, value))
+            elif not breached and firing:
+                del self._active[rule.name]
+                events.append(AlertEvent(rule.name, "resolved", now_s, value))
+        self.timeline.extend(events)
+        return events
+
+    def active(self) -> dict:
+        """Currently firing alerts: ``rule name -> fired-at time``."""
+        return dict(self._active)

@@ -1,0 +1,415 @@
+"""End-to-end monitor rehearsal: drift → detection → canary → decision.
+
+``repro monitor-bench`` runs the full continuous-evaluation story on one
+machine, deterministically:
+
+1. Train a champion (RF+Cov) and a challenger offline; register both in a
+   :class:`~repro.serve.registry.ModelRegistry` (v1 champion, v2
+   challenger, v1 active).
+2. Replay a simulated fleet whose telemetry *rots mid-run* — a sensor
+   gain/offset ramp and optionally a class-mix shift injected at a
+   configurable stream offset (:class:`~repro.monitor.inject.DriftInjection`).
+3. Watch everything: a :class:`~repro.monitor.drift.FleetDriftMonitor`
+   taps ingress, a :class:`~repro.monitor.shadow.ShadowEvaluator` taps
+   batches, an :class:`~repro.monitor.alerts.AlertManager` evaluates the
+   metrics registry every tick, and a
+   :class:`~repro.monitor.rollout.CanaryController` routes a hash-based
+   fraction of sessions to a second (challenger) server once the shadow
+   gate clears.
+4. Report detection latency, the rollout decision timeline, the alert
+   timeline, and which registry version ended up active.
+
+A *good* challenger passes shadow + canary gates and is PROMOTED; a *bad*
+one (trained on permuted labels) is ROLLED_BACK from shadow — both paths
+are exercised by tests and the CI smoke job.
+"""
+
+from __future__ import annotations
+
+import statistics
+import tempfile
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.monitor.alerts import AlertEvent, AlertManager, AlertRule
+from repro.monitor.drift import DriftConfig, FleetDriftMonitor
+from repro.monitor.inject import DriftInjection
+from repro.monitor.rollout import (
+    CanaryController,
+    RolloutConfig,
+    RolloutDecision,
+)
+from repro.monitor.shadow import ShadowEvaluator
+from repro.simcluster.cluster import SimulationConfig
+from repro.simcluster.workload import DEFAULT_DT_S
+
+__all__ = ["MonitorBenchConfig", "MonitorBenchReport", "run_monitor_bench"]
+
+
+@dataclass(frozen=True)
+class MonitorBenchConfig:
+    """Everything one ``repro monitor-bench`` run needs."""
+
+    # offline: simulation + models
+    seed: int = 2022
+    scale: float = 0.02
+    trees: int = 30
+    challenger: str = "good"            # "good" | "bad"
+    model_name: str = "workload"
+    registry_dir: str | None = None     # None -> fresh temp dir
+    # fleet replay
+    n_jobs: int = 24
+    samples_per_tick: int = 90
+    max_samples_per_job: int = 2700     # 5 min at 9 Hz
+    max_batch: int = 64
+    flush_deadline_s: float = 30.0
+    # injected drift
+    drift_start: int = 1080             # 2 min into each stream
+    drift_ramp: int = 270
+    drift_gain: float = 1.6
+    drift_offset: float = 0.0
+    drift_sensors: tuple = (0, 6)       # utilization_gpu_pct, power_draw_W
+    class_shift_fraction: float = 0.0
+    # drift detector (telemetry-shaped: skip the startup ramp, PH sized
+    # for autocorrelated phase noise rather than iid residuals)
+    detector_warmup: int = 540
+    detector_ph_delta: float = 0.25
+    detector_ph_threshold: float = 75.0
+    # rollout gates
+    canary_fraction: float = 0.4        # hash cohorts are lumpy at small n
+    min_shadow_windows: int = 60
+    min_canary_windows: int = 24
+    min_agreement: float = 0.80
+    rollback_agreement: float = 0.55
+    max_latency_ratio: float = 10.0
+    # alerting
+    drift_alert_fraction: float = 0.75  # fleet fraction that pages
+
+    def __post_init__(self):
+        if self.challenger not in ("good", "bad"):
+            raise ValueError(
+                f"challenger must be 'good' or 'bad', got {self.challenger!r}"
+            )
+
+    @property
+    def injection(self) -> DriftInjection:
+        """The drift scenario this config injects into the replay."""
+        return DriftInjection(
+            start_sample=self.drift_start,
+            ramp_samples=self.drift_ramp,
+            gain=self.drift_gain,
+            offset=self.drift_offset,
+            sensors=self.drift_sensors,
+            class_shift_fraction=self.class_shift_fraction,
+        )
+
+
+@dataclass
+class MonitorBenchReport:
+    """Outcome of one monitor-bench run (see :func:`run_monitor_bench`)."""
+
+    config: MonitorBenchConfig
+    state: str                          # final rollout state
+    active_version: int                 # registry pointer after the run
+    champion_version: int
+    challenger_version: int
+    decisions: list[RolloutDecision]
+    alerts: list[AlertEvent]
+    shadow: dict                        # ShadowEvaluator.report()
+    drift_events: int
+    drifted_sessions: int
+    false_positive_sessions: int        # fired before the injected start
+    detection_latency_samples: dict     # n/min/median/max over sessions
+    n_predictions: int
+    smoothed_accuracy: float
+    fit_seconds: float
+    wall_seconds: float
+    sim_seconds: float
+    champion_metrics: dict = field(default_factory=dict)
+    challenger_metrics: dict = field(default_factory=dict)
+
+    @property
+    def detection_latency_s(self) -> float:
+        """Median fleet detection latency in stream seconds (NaN if none)."""
+        median = self.detection_latency_samples.get("median")
+        if median is None:
+            return float("nan")
+        return median * DEFAULT_DT_S
+
+    def format(self) -> str:
+        """Operator-facing text report."""
+        cfg = self.config
+        lines = [
+            f"challenger: {cfg.challenger} "
+            f"(v{self.challenger_version} vs champion v{self.champion_version})",
+            f"injected drift: gain x{cfg.drift_gain:g} offset "
+            f"{cfg.drift_offset:+g} on sensors {list(cfg.drift_sensors)} "
+            f"from sample {cfg.drift_start} (ramp {cfg.drift_ramp})"
+            + (f", class shift {cfg.class_shift_fraction:.0%} of jobs"
+               if cfg.class_shift_fraction else ""),
+            "",
+            f"drift: {self.drift_events} events, "
+            f"{self.drifted_sessions}/{cfg.n_jobs} sessions flagged "
+            f"({self.false_positive_sessions} before the injection point)",
+        ]
+        lat = self.detection_latency_samples
+        if lat.get("n"):
+            lines.append(
+                f"detection latency: median {lat['median']:.0f} samples "
+                f"({self.detection_latency_s:.1f}s of stream), "
+                f"range [{lat['min']:.0f}, {lat['max']:.0f}] "
+                f"over {lat['n']} sessions")
+        else:
+            lines.append("detection latency: no post-injection detections")
+        shadow = self.shadow
+        agreement = shadow.get("agreement", float("nan"))
+        lines.append(
+            f"shadow: {shadow.get('windows', 0)} windows, "
+            f"agreement {agreement:.2%}" if agreement == agreement
+            else f"shadow: {shadow.get('windows', 0)} windows, agreement n/a")
+        for d in shadow.get("top_disagreements", [])[:3]:
+            lines.append(
+                f"  disagrees on champion={d['champion']} -> "
+                f"challenger={d['challenger']} ({d['count']} windows)")
+        lines.append("")
+        lines.append("rollout timeline:")
+        if not self.decisions:
+            lines.append("  (no transitions — held in shadow)")
+        for d in self.decisions:
+            lines.append(
+                f"  t={d.at_s:7.1f}s  {d.from_state} -> {d.to_state}: "
+                f"{d.reason}")
+        lines.append("alert timeline:")
+        if not self.alerts:
+            lines.append("  (no alerts)")
+        for a in self.alerts:
+            value = "n/a" if a.value is None else f"{a.value:g}"
+            lines.append(
+                f"  t={a.at_s:7.1f}s  [{a.kind:>8}] {a.rule} (value {value})")
+        lines.append("")
+        lines.append(
+            f"final: state={self.state}, registry active version "
+            f"v{self.active_version}")
+        lines.append(
+            f"fleet: {self.n_predictions} windows classified over "
+            f"{self.sim_seconds:.0f}s simulated ({self.wall_seconds:.2f}s "
+            f"wall), smoothed accuracy {self.smoothed_accuracy:.2%}")
+        return "\n".join(lines)
+
+
+class _PermutedLabelModel:
+    """A deliberately bad challenger: the champion with scrambled labels."""
+
+    def __init__(self, base, n_classes: int, seed: int = 0):
+        self.base = base
+        rng = np.random.default_rng(seed)
+        self._perm = rng.permutation(n_classes)
+
+    def predict(self, X):
+        """Champion predictions pushed through a fixed label permutation."""
+        return self._perm[np.asarray(self.base.predict(X)).astype(np.int64)]
+
+
+def _train_models(config: MonitorBenchConfig):
+    """Simulate a release, fit champion + challenger, return them + data."""
+    from repro.data import build_challenge_suite
+    from repro.data.labelled import build_labelled_dataset
+    from repro.models import make_rf_cov
+    from repro.simcluster.architectures import N_CLASSES
+
+    sim = SimulationConfig(seed=config.seed, trials_scale=config.scale)
+    labelled = build_labelled_dataset(sim)
+    suite = build_challenge_suite(labelled, seed=config.seed,
+                                  names=("60-random-1",))
+    ds = suite["60-random-1"]
+    tic = time.perf_counter()
+    champion = make_rf_cov(n_estimators=config.trees, random_state=0)
+    champion.fit(ds.X_train, ds.y_train)
+    if config.challenger == "good":
+        # An incremental update — same data and seed, 10% more trees —
+        # the shape of challenger that *should* clear an agreement gate.
+        # (An independently reseeded forest at bench scale agrees only
+        # ~65% with the champion: genuinely a different model.)
+        challenger = make_rf_cov(
+            n_estimators=config.trees + max(1, config.trees // 10),
+            random_state=0)
+        challenger.fit(ds.X_train, ds.y_train)
+    else:
+        challenger = _PermutedLabelModel(champion, N_CLASSES,
+                                         seed=config.seed + 1)
+    fit_seconds = time.perf_counter() - tic
+    return champion, challenger, ds.n_samples, labelled, fit_seconds
+
+
+def run_monitor_bench(
+    config: MonitorBenchConfig | None = None,
+    *,
+    champion=None,
+    challenger=None,
+    window: int = 540,
+    series=None,
+    labels=None,
+) -> MonitorBenchReport:
+    """Run the whole drift → shadow → canary → decision story once.
+
+    With no models given, a release is simulated and champion/challenger
+    are trained from it (the CLI path).  Tests inject prefitted models
+    plus ``series``/``labels`` directly to skip the training cost.
+    """
+    config = config or MonitorBenchConfig()
+    fit_seconds = 0.0
+    if champion is None or challenger is None:
+        champion, challenger, window, labelled, fit_seconds = (
+            _train_models(config))
+        eligible = labelled.eligible(window)
+        series = [t.series for t in eligible.trials]
+        labels = [t.label for t in eligible.trials]
+    if series is None:
+        raise ValueError("series must be provided when models are injected")
+
+    from repro.serve import (
+        FleetLoadGenerator,
+        InferenceServer,
+        MetricsRegistry,
+        ModelRegistry,
+        ServeConfig,
+    )
+
+    # Registry: champion v1 (active), challenger v2 awaiting rollout.
+    registry_dir = (config.registry_dir
+                    or tempfile.mkdtemp(prefix="repro-monitor-"))
+    registry = ModelRegistry(registry_dir)
+    champion_version = registry.register(config.model_name, champion)
+    challenger_version = registry.register(config.model_name, challenger)
+    registry.set_active(config.model_name, champion_version)
+
+    # Fleet replay with the configured drift injected mid-stream.
+    gen = FleetLoadGenerator(
+        series, labels,
+        n_jobs=config.n_jobs,
+        samples_per_tick=config.samples_per_tick,
+        max_samples_per_job=config.max_samples_per_job,
+        seed=config.seed,
+        drift=config.injection,
+    )
+    serve_config = ServeConfig(
+        window=window,
+        max_batch=config.max_batch,
+        flush_deadline_s=config.flush_deadline_s,
+    )
+    metrics = MetricsRegistry()
+    drift_monitor = FleetDriftMonitor(
+        config=DriftConfig(
+            warmup=config.detector_warmup,
+            ph_delta=config.detector_ph_delta,
+            ph_threshold=config.detector_ph_threshold,
+        ),
+        metrics=metrics,
+    )
+    shadow = ShadowEvaluator(
+        registry.get(config.model_name, challenger_version), metrics=metrics)
+    champion_server = InferenceServer(
+        registry.get_active(config.model_name), serve_config,
+        clock=gen.clock, metrics=metrics, taps=[drift_monitor, shadow])
+    # The drift monitor taps BOTH servers: a canary-routed job keeps its
+    # per-job detector (streams are continuous across the reroute), so
+    # fleet drift coverage doesn't shrink when the canary opens.
+    challenger_server = InferenceServer(
+        registry.get(config.model_name, challenger_version), serve_config,
+        clock=gen.clock, taps=[drift_monitor])
+
+    controller = CanaryController(
+        RolloutConfig(
+            canary_fraction=config.canary_fraction,
+            min_shadow_windows=config.min_shadow_windows,
+            min_canary_windows=config.min_canary_windows,
+            min_agreement=config.min_agreement,
+            rollback_agreement=config.rollback_agreement,
+            max_latency_ratio=config.max_latency_ratio,
+            salt=str(config.seed),
+        ),
+        registry=registry,
+        name=config.model_name,
+        champion_version=champion_version,
+        challenger_version=challenger_version,
+        metrics=champion_server.metrics,
+    )
+    alert_manager = AlertManager(
+        rules=[
+            AlertRule(
+                "fleet-drift", "monitor.drift.drifting_fraction", ">=",
+                config.drift_alert_fraction, for_ticks=2,
+                description="correlated input drift across the fleet"),
+            AlertRule(
+                "shadow-agreement-low", "monitor.shadow.agreement", "<",
+                config.rollback_agreement, for_ticks=2,
+                description="challenger diverging from champion"),
+            AlertRule("ingress-shed", "ingress.shed", ">", 0,
+                      description="overload: chunks shed at admission"),
+        ],
+        metrics=champion_server.metrics,
+    )
+
+    def _latency_ratio() -> float:
+        champ = champion_server.metrics.histogram("batch.predict_wall_s")
+        chall = champion_server.metrics.histogram(
+            "monitor.shadow.predict_wall_s")
+        if not champ.count or not chall.count or champ.mean <= 0:
+            return float("nan")
+        return chall.mean / champ.mean
+
+    def _route(job):
+        if controller.route(job) == "challenger":
+            return challenger_server
+        return None                      # primary (champion) server
+
+    def _on_tick(tick, emissions):
+        canary_windows = int(
+            challenger_server.metrics.counter("predictions.emitted").value)
+        controller.update(
+            shadow_windows=shadow.n_windows,
+            shadow_agreement=shadow.agreement,
+            canary_windows=canary_windows,
+            latency_ratio=_latency_ratio(),
+            now_s=gen.clock(),
+        )
+        alert_manager.evaluate(now_s=gen.clock())
+
+    report = gen.run(champion_server, route=_route, on_tick=_on_tick)
+
+    latencies = sorted(
+        drift_monitor.detection_latencies(config.drift_start).values())
+    latency_stats: dict = {"n": len(latencies)}
+    if latencies:
+        latency_stats.update(
+            min=float(latencies[0]),
+            median=float(statistics.median(latencies)),
+            max=float(latencies[-1]),
+        )
+    first = drift_monitor.first_detections()
+    false_positives = sum(1 for s in first.values()
+                          if s < config.drift_start)
+
+    return MonitorBenchReport(
+        config=config,
+        state=controller.state,
+        active_version=registry.active_version(config.model_name),
+        champion_version=champion_version,
+        challenger_version=challenger_version,
+        decisions=list(controller.decisions),
+        alerts=list(alert_manager.timeline),
+        shadow=shadow.report(),
+        drift_events=drift_monitor.n_events,
+        drifted_sessions=len(first),
+        false_positive_sessions=false_positives,
+        detection_latency_samples=latency_stats,
+        n_predictions=report.n_predictions,
+        smoothed_accuracy=report.smoothed_accuracy(),
+        fit_seconds=fit_seconds,
+        wall_seconds=report.wall_seconds,
+        sim_seconds=report.sim_seconds,
+        champion_metrics=champion_server.metrics.as_dict(),
+        challenger_metrics=challenger_server.metrics.as_dict(),
+    )

@@ -1,0 +1,111 @@
+"""Deterministic drift injection for end-to-end monitor rehearsals.
+
+A drift detector you have never seen fire is a detector you do not have.
+This module perturbs replayed telemetry the way production telemetry
+actually rots:
+
+* **Sensor gain/offset ramp** — ``x' = x · (1 + (gain−1)·t) + offset·t``
+  with ``t`` ramping linearly from 0 to 1 over ``ramp_samples`` starting
+  at ``start_sample`` (a recalibrated or miscalibrated sensor, a firmware
+  change scaling utilization counters).  Results are clipped back to each
+  sensor's physical range so injected streams stay plausible.
+* **Class-mix shift** — a seeded fraction of fleet jobs switch, at the
+  same stream offset, to telemetry from a *different* workload class (new
+  DNN architectures arriving in the fleet).  This one fools input-drift
+  detectors slowly but shows up immediately in shadow disagreement-by-
+  class — which is exactly the point of running both monitors.
+
+Everything is a pure function of ``(series, config)`` — no RNG at
+injection time — so a drifted replay is as reproducible as a clean one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simcluster.sensors import N_GPU_SENSORS, clip_gpu_series
+
+__all__ = ["DriftInjection", "inject_series"]
+
+
+@dataclass(frozen=True)
+class DriftInjection:
+    """One injected drift scenario for a fleet replay.
+
+    ``gain``/``offset`` may be scalars (applied to every targeted sensor)
+    or length-7 sequences; ``sensors`` restricts the gain/offset ramp to a
+    subset of channel indices (None = all).  ``class_shift_fraction`` of
+    jobs (seeded by the load generator) swap to a donor series of class
+    ``class_shift_to`` (or any different class when None) after
+    ``start_sample``.
+    """
+
+    start_sample: int = 0
+    ramp_samples: int = 270
+    gain: float | tuple = 1.0
+    offset: float | tuple = 0.0
+    sensors: tuple | None = None
+    class_shift_fraction: float = 0.0
+    class_shift_to: int | None = None
+    clip: bool = True
+
+    def __post_init__(self):
+        if self.start_sample < 0 or self.ramp_samples < 1:
+            raise ValueError(
+                "start_sample must be >= 0 and ramp_samples >= 1"
+            )
+        if not 0.0 <= self.class_shift_fraction <= 1.0:
+            raise ValueError(
+                f"class_shift_fraction must be in [0, 1], "
+                f"got {self.class_shift_fraction}"
+            )
+        if self.sensors is not None:
+            bad = [s for s in self.sensors
+                   if not 0 <= int(s) < N_GPU_SENSORS]
+            if bad:
+                raise ValueError(
+                    f"sensor indices out of range [0, {N_GPU_SENSORS}): {bad}"
+                )
+
+    @property
+    def perturbs_sensors(self) -> bool:
+        """Whether the gain/offset ramp changes anything at all."""
+        return (np.any(np.asarray(self.gain) != 1.0)
+                or np.any(np.asarray(self.offset) != 0.0))
+
+    def _expand(self, value, neutral: float) -> np.ndarray:
+        full = np.full(N_GPU_SENSORS, neutral, dtype=np.float64)
+        value = np.asarray(value, dtype=np.float64)
+        targets = (np.arange(N_GPU_SENSORS) if self.sensors is None
+                   else np.asarray(self.sensors, dtype=np.intp))
+        full[targets] = value if value.ndim == 0 else value[targets]
+        return full
+
+
+def inject_series(series: np.ndarray, injection: DriftInjection) -> np.ndarray:
+    """Apply the gain/offset ramp to one ``(n, 7)`` telemetry series.
+
+    Rows before ``start_sample`` are returned untouched; the perturbation
+    ramps linearly over ``ramp_samples`` and holds at full strength
+    afterwards.  The input is never mutated.
+    """
+    series = np.asarray(series, dtype=np.float64)
+    if series.ndim != 2 or series.shape[1] != N_GPU_SENSORS:
+        raise ValueError(
+            f"expected (n, {N_GPU_SENSORS}) series, got shape {series.shape}"
+        )
+    if not injection.perturbs_sensors or injection.start_sample >= len(series):
+        return series
+    gain = injection._expand(injection.gain, 1.0)
+    offset = injection._expand(injection.offset, 0.0)
+    t = np.clip(
+        (np.arange(len(series)) - injection.start_sample)
+        / injection.ramp_samples,
+        0.0, 1.0,
+    )[:, None]
+    out = series * (1.0 + (gain - 1.0) * t) + offset * t
+    if injection.clip:
+        out = clip_gpu_series(out)
+    return out

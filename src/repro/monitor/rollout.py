@@ -1,0 +1,247 @@
+"""Canary rollout controller: SHADOW → CANARY → PROMOTED / ROLLED_BACK.
+
+Shipping a new model version to a fleet is a control problem, not a file
+copy.  :class:`CanaryController` drives one challenger version through the
+classic progression:
+
+1. **SHADOW** — the challenger sees mirrored traffic only (see
+   :class:`~repro.monitor.shadow.ShadowEvaluator`).  After
+   ``min_shadow_windows`` observations it either advances (agreement at or
+   above ``min_agreement``) or rolls back (below ``rollback_agreement``);
+   between the two thresholds it keeps gathering evidence.
+2. **CANARY** — a deterministic hash-based ``canary_fraction`` of sessions
+   is routed to the challenger (same session always lands on the same
+   side; no RNG, no flapping).  Guardrails — continued shadow agreement
+   and the challenger/champion latency ratio — are re-checked on every
+   :meth:`update`.
+3. **PROMOTED / ROLLED_BACK** — terminal.  When a
+   :class:`~repro.serve.registry.ModelRegistry` is attached, promotion
+   flips the registry's ``ACTIVE`` pointer to the challenger version and
+   rollback pins it back to the champion, so the decision survives
+   restarts and is visible to every server fetching ``get_active``.
+
+The controller never touches traffic itself: servers (or the load
+generator) ask :meth:`route` which deployment a session belongs to, and
+the bench loop feeds :meth:`update` with monitor statistics.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass
+
+__all__ = [
+    "SHADOW",
+    "CANARY",
+    "PROMOTED",
+    "ROLLED_BACK",
+    "RolloutConfig",
+    "RolloutDecision",
+    "CanaryController",
+]
+
+SHADOW = "shadow"
+CANARY = "canary"
+PROMOTED = "promoted"
+ROLLED_BACK = "rolled_back"
+
+#: Numeric encoding of states for the ``monitor.rollout.state`` gauge.
+_STATE_CODE = {SHADOW: 0, CANARY: 1, PROMOTED: 2, ROLLED_BACK: -1}
+
+
+@dataclass(frozen=True)
+class RolloutConfig:
+    """Gate thresholds and canary sizing for one rollout."""
+
+    canary_fraction: float = 0.25   # sessions routed to the challenger
+    min_shadow_windows: int = 200   # evidence before leaving SHADOW
+    min_canary_windows: int = 150   # challenger-served windows before PROMOTED
+    min_agreement: float = 0.85     # advance/promote gate
+    rollback_agreement: float = 0.60  # immediate rollback gate
+    max_latency_ratio: float = 4.0  # challenger/champion per-window predict
+    salt: str = ""                  # varies the canary cohort between rollouts
+
+    def __post_init__(self):
+        if not 0.0 < self.canary_fraction <= 1.0:
+            raise ValueError(
+                f"canary_fraction must be in (0, 1], got {self.canary_fraction}"
+            )
+        if not 0.0 <= self.rollback_agreement <= self.min_agreement <= 1.0:
+            raise ValueError(
+                "need 0 <= rollback_agreement <= min_agreement <= 1, got "
+                f"{self.rollback_agreement} / {self.min_agreement}"
+            )
+        if self.min_shadow_windows < 1 or self.min_canary_windows < 0:
+            raise ValueError("window minimums must be positive")
+
+
+@dataclass(frozen=True)
+class RolloutDecision:
+    """One state transition, with the evidence that triggered it."""
+
+    at_s: float                 # serving clock at the transition
+    from_state: str
+    to_state: str
+    reason: str
+
+
+class CanaryController:
+    """State machine promoting or rolling back one challenger version.
+
+    Parameters
+    ----------
+    config:
+        Gate thresholds (:class:`RolloutConfig`).
+    registry, name, champion_version, challenger_version:
+        Optional :class:`~repro.serve.registry.ModelRegistry` binding; on
+        a terminal transition the registry's active pointer for ``name``
+        is flipped accordingly.  All four must be given together.
+    metrics:
+        Optional :class:`~repro.serve.metrics.MetricsRegistry`; the
+        ``monitor.rollout.state`` gauge tracks the numeric state code
+        (0 shadow, 1 canary, 2 promoted, -1 rolled back).
+    """
+
+    def __init__(
+        self,
+        config: RolloutConfig | None = None,
+        *,
+        registry=None,
+        name: str | None = None,
+        champion_version: int | None = None,
+        challenger_version: int | None = None,
+        metrics=None,
+    ):
+        self.config = config or RolloutConfig()
+        bound = (registry, name, champion_version, challenger_version)
+        if any(b is not None for b in bound) and any(b is None for b in bound):
+            raise ValueError(
+                "registry, name, champion_version and challenger_version "
+                "must be provided together"
+            )
+        self.registry = registry
+        self.name = name
+        self.champion_version = champion_version
+        self.challenger_version = challenger_version
+        self.metrics = metrics
+        self._state = SHADOW
+        self.decisions: list[RolloutDecision] = []
+        self._publish_state()
+
+    # -- state ---------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current rollout state (module-level string constants)."""
+        return self._state
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the rollout has reached PROMOTED or ROLLED_BACK."""
+        return self._state in (PROMOTED, ROLLED_BACK)
+
+    # -- routing -------------------------------------------------------
+    def in_canary_cohort(self, session_id) -> bool:
+        """Whether ``session_id`` hashes into the canary fraction.
+
+        Pure function of ``(salt, session_id)`` — stable across calls,
+        processes, and machines, so a session never flaps between
+        deployments mid-stream.
+        """
+        h = zlib.crc32(f"{self.config.salt}|{session_id}".encode())
+        return (h % 1_000_000) < self.config.canary_fraction * 1_000_000
+
+    def route(self, session_id) -> str:
+        """Which deployment serves ``session_id`` *now*:
+        ``"champion"`` or ``"challenger"``."""
+        if self._state == PROMOTED:
+            return "challenger"
+        if self._state == CANARY and self.in_canary_cohort(session_id):
+            return "challenger"
+        return "champion"
+
+    # -- control loop --------------------------------------------------
+    def update(
+        self,
+        *,
+        shadow_windows: int,
+        shadow_agreement: float,
+        canary_windows: int = 0,
+        latency_ratio: float = float("nan"),
+        now_s: float = 0.0,
+    ) -> RolloutDecision | None:
+        """Re-evaluate gates against fresh monitor statistics.
+
+        ``shadow_windows``/``shadow_agreement`` come from the
+        :class:`~repro.monitor.shadow.ShadowEvaluator`; ``canary_windows``
+        counts windows actually served by the challenger;
+        ``latency_ratio`` is challenger/champion per-window predict time
+        (NaN = not measured, guardrail skipped).  Returns the transition
+        taken, if any.
+        """
+        if self.terminal:
+            return None
+        agreement_known = (
+            shadow_windows >= self.config.min_shadow_windows
+            and not math.isnan(shadow_agreement)
+        )
+        if self._state == SHADOW:
+            if not agreement_known:
+                return None
+            if shadow_agreement < self.config.rollback_agreement:
+                return self._transition(
+                    ROLLED_BACK, now_s,
+                    f"shadow agreement {shadow_agreement:.2%} below rollback "
+                    f"threshold {self.config.rollback_agreement:.0%} "
+                    f"after {shadow_windows} windows")
+            if shadow_agreement >= self.config.min_agreement:
+                return self._transition(
+                    CANARY, now_s,
+                    f"shadow agreement {shadow_agreement:.2%} over "
+                    f"{shadow_windows} windows clears the "
+                    f"{self.config.min_agreement:.0%} gate; routing "
+                    f"{self.config.canary_fraction:.0%} of sessions")
+            return None
+        # CANARY: guardrails first, then the promotion gate.
+        if agreement_known and shadow_agreement < self.config.rollback_agreement:
+            return self._transition(
+                ROLLED_BACK, now_s,
+                f"canary guardrail: shadow agreement fell to "
+                f"{shadow_agreement:.2%}")
+        if (not math.isnan(latency_ratio)
+                and latency_ratio > self.config.max_latency_ratio):
+            return self._transition(
+                ROLLED_BACK, now_s,
+                f"canary guardrail: challenger latency {latency_ratio:.1f}x "
+                f"champion exceeds {self.config.max_latency_ratio:.1f}x")
+        if (canary_windows >= self.config.min_canary_windows
+                and agreement_known
+                and shadow_agreement >= self.config.min_agreement):
+            return self._transition(
+                PROMOTED, now_s,
+                f"{canary_windows} canary windows served, agreement "
+                f"{shadow_agreement:.2%}, latency guardrail "
+                + ("not measured" if math.isnan(latency_ratio)
+                   else f"{latency_ratio:.1f}x"))
+        return None
+
+    # -- internals -----------------------------------------------------
+    def _transition(self, to_state: str, now_s: float,
+                    reason: str) -> RolloutDecision:
+        decision = RolloutDecision(
+            at_s=now_s, from_state=self._state, to_state=to_state,
+            reason=reason)
+        self._state = to_state
+        self.decisions.append(decision)
+        self._publish_state()
+        if self.registry is not None:
+            if to_state == PROMOTED:
+                self.registry.set_active(self.name, self.challenger_version)
+            elif to_state == ROLLED_BACK:
+                self.registry.set_active(self.name, self.champion_version)
+        return decision
+
+    def _publish_state(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge("monitor.rollout.state").set(
+                _STATE_CODE[self._state])

@@ -1,0 +1,119 @@
+"""Shadow evaluation: replay served batches through a challenger model.
+
+The cheapest way to qualify a new model version against live traffic is
+to let it *shadow* the champion: every micro-batch the champion classifies
+is re-classified by the challenger, and only the agreement statistics are
+kept — the challenger's labels never reach a session's majority vote.
+Because the tap sees the already-stacked ``(n, window, sensors)`` batch,
+shadowing costs one extra vectorized ``predict`` per flush, not one per
+window.
+
+State is O(classes²): agreement counters plus a disagreement matrix keyed
+by ``(champion_label, challenger_label)``, which tells an operator *where*
+the models diverge (e.g. the challenger relabels half the champion's
+``vgg`` windows as ``resnet``) — far more actionable than a single rate.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+
+import numpy as np
+
+__all__ = ["ShadowEvaluator"]
+
+
+class ShadowEvaluator:
+    """Batch tap tracking champion/challenger agreement.
+
+    Attach to the champion's :class:`~repro.serve.server.InferenceServer`
+    via ``taps=[shadow]``; each completed batch is re-predicted by
+    ``challenger`` and folded into the counters.
+
+    Parameters
+    ----------
+    challenger:
+        Fitted estimator with ``predict`` over ``(n, window, sensors)``.
+    metrics:
+        Optional :class:`~repro.serve.metrics.MetricsRegistry`; exposes
+        ``monitor.shadow.windows``/``.disagreements`` counters, the
+        ``monitor.shadow.agreement`` gauge, and a wall-clock
+        ``monitor.shadow.predict_wall_s`` per-window histogram (the
+        challenger half of the rollout latency guardrail).
+    """
+
+    def __init__(self, challenger, *, metrics=None):
+        if not hasattr(challenger, "predict"):
+            raise TypeError("challenger must expose predict()")
+        self.challenger = challenger
+        self.metrics = metrics
+        self.n_windows = 0
+        self.n_agree = 0
+        self._disagreements: Counter = Counter()
+        self._champion_labels: Counter = Counter()
+        self._challenger_labels: Counter = Counter()
+
+    # -- server tap ----------------------------------------------------
+    def on_batch(self, completions) -> None:
+        """Re-classify one completed batch and update agreement counts."""
+        if not completions:
+            return
+        stacked = np.stack([c.request.window for c in completions])
+        tic = time.perf_counter()
+        labels = np.asarray(self.challenger.predict(stacked)).astype(np.int64)
+        wall_s = time.perf_counter() - tic
+        if labels.shape != (len(completions),):
+            raise ValueError(
+                f"challenger.predict returned shape {labels.shape} for a "
+                f"batch of {len(completions)}"
+            )
+        batch_agree = 0
+        for completion, challenger_label in zip(completions, labels):
+            champion_label = int(completion.label)
+            challenger_label = int(challenger_label)
+            self.n_windows += 1
+            self._champion_labels[champion_label] += 1
+            self._challenger_labels[challenger_label] += 1
+            if champion_label == challenger_label:
+                self.n_agree += 1
+                batch_agree += 1
+            else:
+                self._disagreements[(champion_label, challenger_label)] += 1
+        if self.metrics is not None:
+            self.metrics.counter("monitor.shadow.windows").inc(len(completions))
+            self.metrics.counter("monitor.shadow.disagreements").inc(
+                len(completions) - batch_agree)
+            self.metrics.gauge("monitor.shadow.agreement").set(self.agreement)
+            self.metrics.histogram("monitor.shadow.predict_wall_s").observe(
+                wall_s / len(completions))
+
+    # -- statistics ----------------------------------------------------
+    @property
+    def agreement(self) -> float:
+        """Fraction of shadowed windows where both models agree (NaN empty)."""
+        if not self.n_windows:
+            return float("nan")
+        return self.n_agree / self.n_windows
+
+    def disagreements_by_class(self, top: int | None = None):
+        """``((champion, challenger), count)`` pairs, most frequent first."""
+        return self._disagreements.most_common(top)
+
+    def label_distributions(self) -> dict:
+        """Champion and challenger emitted-label histograms (class -> count)."""
+        return {
+            "champion": dict(sorted(self._champion_labels.items())),
+            "challenger": dict(sorted(self._challenger_labels.items())),
+        }
+
+    def report(self) -> dict:
+        """Snapshot for the operator report / rollout controller."""
+        return {
+            "windows": self.n_windows,
+            "agreement": self.agreement,
+            "top_disagreements": [
+                {"champion": a, "challenger": b, "count": n}
+                for (a, b), n in self.disagreements_by_class(5)
+            ],
+        }

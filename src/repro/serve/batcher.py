@@ -112,7 +112,9 @@ class MicroBatcher:
         batch, self._queue = self._queue[: self.max_batch], self._queue[self.max_batch:]
         now = self.clock()
         stacked = np.stack([req.window for req, _ in batch])
+        tic = time.perf_counter()
         labels = np.asarray(self.model.predict(stacked)).astype(np.int64)
+        predict_wall_s = time.perf_counter() - tic
         if labels.shape != (len(batch),):
             raise ValueError(
                 f"model.predict returned shape {labels.shape} for a "
@@ -124,6 +126,11 @@ class MicroBatcher:
             self.metrics.counter("batch.predict_calls").inc()
             self.metrics.counter("batch.windows").inc(len(batch))
             self.metrics.histogram("batch.size").observe(len(batch))
+            # Real (wall-clock) model cost per window — the one number in
+            # this registry that varies run to run; rollout latency
+            # guardrails compare it between champion and challenger.
+            self.metrics.histogram("batch.predict_wall_s").observe(
+                predict_wall_s / len(batch))
         out = []
         for (req, submitted_s), label in zip(batch, labels):
             waited = now - submitted_s

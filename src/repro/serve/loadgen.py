@@ -104,6 +104,12 @@ class FleetLoadGenerator:
         desynchronizing window boundaries across the fleet.
     seed:
         Drives series assignment and stagger; fixes the whole replay.
+    drift:
+        Optional :class:`~repro.monitor.inject.DriftInjection`: replayed
+        streams get the sensor gain/offset ramp, and a seeded
+        ``class_shift_fraction`` of jobs splice to a donor series of a
+        different class at the injection offset.  ``None`` replays clean
+        telemetry, bit-for-bit identical to before the hook existed.
     """
 
     def __init__(
@@ -116,6 +122,7 @@ class FleetLoadGenerator:
         max_samples_per_job: int | None = None,
         stagger_ticks: int = 3,
         seed: int = 0,
+        drift=None,
     ):
         if not series:
             raise ValueError("need at least one telemetry series")
@@ -137,6 +144,11 @@ class FleetLoadGenerator:
         rng = as_generator(seed)
         self._assignment = rng.integers(0, len(self.series), size=n_jobs)
         self._start_tick = rng.integers(0, stagger_ticks + 1, size=n_jobs)
+        self.drift = drift
+        self._donors: dict[int, int] = {}
+        self._stream_cache: dict[int, np.ndarray] = {}
+        if drift is not None and drift.class_shift_fraction > 0.0:
+            self._pick_class_shift_donors(rng)
 
     @classmethod
     def from_simulation(
@@ -168,12 +180,67 @@ class FleetLoadGenerator:
         )
 
     # ------------------------------------------------------------------
+    def _pick_class_shift_donors(self, rng) -> None:
+        """Seeded donor assignment for class-mix drift (init-time only)."""
+        from repro.monitor.inject import DriftInjection  # avoid cycle at import
+
+        drift: DriftInjection = self.drift
+        if self.labels is None:
+            raise ValueError(
+                "class_shift_fraction needs labels to pick donor classes"
+            )
+        n_shift = int(round(drift.class_shift_fraction * self.n_jobs))
+        shifted = rng.choice(self.n_jobs, size=n_shift, replace=False)
+        for job in shifted:
+            own = int(self.labels[int(self._assignment[job])])
+            candidates = [
+                i for i, label in enumerate(self.labels)
+                if int(label) != own
+                and (drift.class_shift_to is None
+                     or int(label) == drift.class_shift_to)
+            ]
+            if candidates:
+                self._donors[int(job)] = candidates[
+                    int(rng.integers(len(candidates)))]
+
     def job_stream(self, job: int) -> np.ndarray:
-        """The telemetry series replayed by simulated job ``job``."""
+        """The telemetry series replayed by simulated job ``job``.
+
+        With a :attr:`drift` injection attached this is the *perturbed*
+        stream (computed once and cached); length always matches the
+        clean stream so tick counts are unaffected.
+        """
         data = self.series[int(self._assignment[job])]
         if self.max_samples_per_job is not None:
             data = data[: self.max_samples_per_job]
-        return data
+        if self.drift is None:
+            return data
+        cached = self._stream_cache.get(job)
+        if cached is None:
+            cached = self._inject(job, data)
+            self._stream_cache[job] = cached
+        return cached
+
+    def _inject(self, job: int, data: np.ndarray) -> np.ndarray:
+        from repro.monitor.inject import inject_series
+
+        start = self.drift.start_sample
+        donor_idx = self._donors.get(job)
+        if donor_idx is not None and start < data.shape[0]:
+            donor = self.series[donor_idx]
+            needed = data.shape[0] - start
+            # Continue the stream with donor telemetry from the same
+            # stream position (tiled when the donor is shorter).
+            tail = donor[start: start + needed]
+            if tail.shape[0] < needed:
+                reps = -(-needed // max(1, donor.shape[0]))
+                tail = np.tile(donor, (reps, 1))[:needed]
+            data = np.vstack([data[:start], tail])
+        return inject_series(data, self.drift)
+
+    def class_shifted_jobs(self) -> dict[int, int]:
+        """``job -> donor series index`` for class-mix drifted jobs."""
+        return dict(self._donors)
 
     def true_label(self, job: int) -> int | None:
         """True class of job ``job``'s series (None when labels absent)."""
@@ -196,6 +263,8 @@ class FleetLoadGenerator:
         server: InferenceServer,
         *,
         end_sessions: bool = True,
+        route=None,
+        on_tick=None,
     ) -> LoadReport:
         """Drive ``server`` through the whole fleet replay.
 
@@ -203,12 +272,22 @@ class FleetLoadGenerator:
         ``clock=gen.clock`` when constructing it).  Each tick submits one
         chunk per active job, steps the server, then advances simulated
         time; a final ``drain`` flushes partial batches.
+
+        ``route`` (optional) maps ``job -> InferenceServer`` per tick and
+        enables canary splits: returning a different server (sharing this
+        clock) sends that job's next chunks there — a job rerouted
+        mid-stream starts a fresh window on the new server, exactly like a
+        reconnecting client.  Returning ``None`` keeps the primary.
+        ``on_tick(tick, emissions)`` (optional) runs after every tick's
+        step with that tick's emissions — the hook rollout controllers and
+        alert evaluation attach to.
         """
         if server.clock is not self.clock:
             raise ValueError(
                 "server must be constructed with clock=generator.clock "
                 "for a deterministic replay"
             )
+        servers: list[InferenceServer] = [server]
         emissions: list[Emission] = []
         finished: set[int] = set()
         tic = time.perf_counter()
@@ -217,19 +296,36 @@ class FleetLoadGenerator:
                 start_tick = int(self._start_tick[job])
                 if tick < start_tick or job in finished:
                     continue
+                target = server
+                if route is not None:
+                    target = route(job) or server
+                    if target is not server and target not in servers:
+                        if target.clock is not self.clock:
+                            raise ValueError(
+                                "routed servers must share the "
+                                "generator's clock"
+                            )
+                        servers.append(target)
                 stream = self.job_stream(job)
                 lo = (tick - start_tick) * self.samples_per_tick
                 chunk = stream[lo: lo + self.samples_per_tick]
                 if chunk.shape[0]:
-                    server.submit(job, chunk)
+                    target.submit(job, chunk)
                 if lo + self.samples_per_tick >= stream.shape[0]:
                     finished.add(job)
-            emissions.extend(server.step())
+            tick_emissions: list[Emission] = []
+            for s in servers:
+                tick_emissions.extend(s.step())
+            emissions.extend(tick_emissions)
+            if on_tick is not None:
+                on_tick(tick, tick_emissions)
             self.clock.advance(self.tick_s)
-        emissions.extend(server.drain())
+        for s in servers:
+            emissions.extend(s.drain())
         if end_sessions:
             for job in range(self.n_jobs):
-                server.end_session(job)
+                for s in servers:
+                    s.end_session(job)
         wall = time.perf_counter() - tic
         true = {
             job: self.true_label(job)

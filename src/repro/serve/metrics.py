@@ -48,6 +48,14 @@ class Gauge:
         """Overwrite the current level."""
         self.value = value
 
+    def inc(self, n: float = 1.0) -> None:
+        """Raise the level by ``n`` (default 1) — no read-modify-write."""
+        self.value += n
+
+    def dec(self, n: float = 1.0) -> None:
+        """Lower the level by ``n`` (default 1)."""
+        self.value -= n
+
 
 @dataclass
 class Histogram:
@@ -66,6 +74,10 @@ class Histogram:
     _seen_since_kept: int = field(default=0, repr=False)
     count: int = 0
     total: float = 0.0
+    # True extremes over *all* observations: decimation drops samples, so
+    # min/max over the retained ``_values`` would silently lose outliers.
+    _min: float = field(default=math.inf, repr=False)
+    _max: float = field(default=-math.inf, repr=False)
 
     def __post_init__(self):
         if self.capacity < 2:
@@ -78,6 +90,10 @@ class Histogram:
             raise ValueError(f"observation must be finite, got {value}")
         self.count += 1
         self.total += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
         self._seen_since_kept += 1
         if self._seen_since_kept >= self._stride:
             self._values.append(value)
@@ -108,11 +124,11 @@ class Histogram:
         return {
             "count": self.count,
             "mean": self.mean,
-            "min": min(self._values),
+            "min": self._min,
             "p50": self.percentile(50),
             "p95": self.percentile(95),
             "p99": self.percentile(99),
-            "max": max(self._values),
+            "max": self._max,
         }
 
 

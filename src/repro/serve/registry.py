@@ -41,6 +41,7 @@ class ModelRegistry:
         self.root = Path(root)
         self.warm_capacity = warm_capacity
         self._warm: OrderedDict[tuple[str, int], object] = OrderedDict()
+        self._latest: dict[str, int] = {}
         self.hits = 0
         self.misses = 0
 
@@ -60,6 +61,11 @@ class ModelRegistry:
             raise ValueError(f"version must be >= 1, got {version}")
         save_model(model, self._path(name, version))
         self._warm.pop((name, version), None)
+        # Keep the latest-version memo coherent: bump an existing entry
+        # (an unseen name stays unmemoized until the next scan caches it).
+        cached = self._latest.get(name)
+        if cached is not None:
+            self._latest[name] = max(cached, version)
         return version
 
     # -- fetching ------------------------------------------------------
@@ -109,14 +115,65 @@ class ModelRegistry:
         return sorted(out)
 
     def latest_version(self, name: str) -> int:
-        """Highest registered version of ``name``; ``KeyError`` if none."""
+        """Highest registered version of ``name``; ``KeyError`` if none.
+
+        Memoized per name (``get(name)`` with ``version=None`` is on the
+        hot serving path and must not pay a directory scan per call);
+        :meth:`register` keeps the memo coherent.  External writers (e.g.
+        an rsync from another machine) are picked up after
+        :meth:`invalidate`.
+        """
+        cached = self._latest.get(name)
+        if cached is not None:
+            return cached
         versions = self.versions(name)
         if not versions:
             raise KeyError(f"no model named {name!r} in {self.root}")
+        self._latest[name] = versions[-1]
         return versions[-1]
+
+    def invalidate(self, name: str | None = None) -> None:
+        """Drop the latest-version memo (one name, or all when ``None``)."""
+        if name is None:
+            self._latest.clear()
+        else:
+            self._latest.pop(name, None)
 
     def __contains__(self, name: str) -> bool:
         return bool(self.versions(name))
+
+    # -- active-version pointer ----------------------------------------
+    def set_active(self, name: str, version: int) -> None:
+        """Mark ``version`` as the one servers should fetch for ``name``.
+
+        The pointer is a plain ``ACTIVE`` file next to the version pickles
+        (survives restarts, rsyncs with the registry); rollout controllers
+        flip it on promotion and rollback.  Raises ``KeyError`` when the
+        version is not registered.
+        """
+        if version not in self.versions(name):
+            raise KeyError(f"no model {name!r} version {version} in {self.root}")
+        (self.root / name / "ACTIVE").write_text(f"{version}\n")
+
+    def active_version(self, name: str) -> int:
+        """The promoted version of ``name`` (latest when never pointed).
+
+        A stale pointer — e.g. the active version's file was deleted —
+        falls back to the latest registered version.
+        """
+        marker = self.root / name / "ACTIVE"
+        if marker.is_file():
+            try:
+                version = int(marker.read_text().strip())
+            except ValueError:
+                version = -1
+            if version in self.versions(name):
+                return version
+        return self.latest_version(name)
+
+    def get_active(self, name: str):
+        """Fetch the promoted model for ``name`` (see :meth:`active_version`)."""
+        return self.get(name, self.active_version(name))
 
     # -- cache management ----------------------------------------------
     @property

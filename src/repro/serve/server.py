@@ -88,6 +88,13 @@ class InferenceServer:
     metrics:
         Optional shared :class:`MetricsRegistry`; one is created when
         omitted and exposed as ``server.metrics``.
+    taps:
+        Monitor taps (see :mod:`repro.monitor`): objects that observe
+        traffic without affecting it.  A tap may implement
+        ``on_ingress(job_id, samples)`` — called for every chunk as it
+        leaves the ingress queue — and/or ``on_batch(completions)`` —
+        called with each non-empty list of classified windows before
+        they are folded back into sessions.
     """
 
     def __init__(
@@ -97,10 +104,15 @@ class InferenceServer:
         *,
         clock=time.monotonic,
         metrics: MetricsRegistry | None = None,
+        taps=(),
     ):
         self.config = config or ServeConfig()
         self.clock = clock
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._ingress_taps = []
+        self._batch_taps = []
+        for tap in taps:
+            self.add_tap(tap)
         self.batcher = MicroBatcher(
             model,
             max_batch=self.config.max_batch,
@@ -111,6 +123,20 @@ class InferenceServer:
         self._sessions: dict[object, StreamSession] = {}
         self._ingress: deque[tuple[object, np.ndarray]] = deque()
         self._draining = False
+
+    def add_tap(self, tap) -> None:
+        """Attach a monitor tap (``on_ingress`` and/or ``on_batch``)."""
+        has_ingress = hasattr(tap, "on_ingress")
+        has_batch = hasattr(tap, "on_batch")
+        if not (has_ingress or has_batch):
+            raise TypeError(
+                "tap must implement on_ingress(job_id, samples) and/or "
+                "on_batch(completions)"
+            )
+        if has_ingress:
+            self._ingress_taps.append(tap)
+        if has_batch:
+            self._batch_taps.append(tap)
 
     # -- ingress -------------------------------------------------------
     def submit(self, job_id, samples) -> bool:
@@ -129,9 +155,10 @@ class InferenceServer:
                 return False
             self._ingress.popleft()
             self.metrics.counter("ingress.shed").inc()
+            self.metrics.gauge("ingress.depth").dec()
         self._ingress.append((job_id, samples))
         self.metrics.counter("ingress.samples").inc(samples.shape[0])
-        self.metrics.gauge("ingress.depth").set(len(self._ingress))
+        self.metrics.gauge("ingress.depth").inc()
         return True
 
     # -- processing ----------------------------------------------------
@@ -141,11 +168,13 @@ class InferenceServer:
         completions: list[BatchCompletion] = []
         while self._ingress:
             job_id, samples = self._ingress.popleft()
+            self.metrics.gauge("ingress.depth").dec()
+            for tap in self._ingress_taps:
+                tap.on_ingress(job_id, samples)
             session = self._session(job_id)
             for request in session.push(samples, now_s=now):
                 completions.extend(self.batcher.submit(request))
         completions.extend(self.batcher.poll())
-        self.metrics.gauge("ingress.depth").set(0)
         return self._emit(completions)
 
     def drain(self) -> list[Emission]:
@@ -170,7 +199,11 @@ class InferenceServer:
         Any windows already queued in the batcher still complete and emit.
         """
         existed = self._sessions.pop(job_id, None) is not None
-        self.metrics.gauge("sessions.active").set(len(self._sessions))
+        if existed:
+            self.metrics.gauge("sessions.active").dec()
+        for tap in self._ingress_taps:
+            if hasattr(tap, "end_session"):
+                tap.end_session(job_id)
         return existed
 
     @property
@@ -194,12 +227,15 @@ class InferenceServer:
             )
             self._sessions[job_id] = session
             self.metrics.counter("sessions.opened").inc()
-            self.metrics.gauge("sessions.active").set(len(self._sessions))
+            self.metrics.gauge("sessions.active").inc()
         return session
 
     # -- emission ------------------------------------------------------
     def _emit(self, completions: list[BatchCompletion]) -> list[Emission]:
         now = self.clock()
+        if completions:
+            for tap in self._batch_taps:
+                tap.on_batch(completions)
         out: list[Emission] = []
         for completion in completions:
             request = completion.request

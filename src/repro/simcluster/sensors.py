@@ -17,6 +17,7 @@ __all__ = [
     "N_GPU_SENSORS",
     "N_CPU_METRICS",
     "gpu_sensor_index",
+    "clip_gpu_series",
 ]
 
 
@@ -77,6 +78,26 @@ N_GPU_SENSORS = len(GPU_SENSORS)
 N_CPU_METRICS = len(CPU_METRICS)
 
 _GPU_INDEX = {spec.name: i for i, spec in enumerate(GPU_SENSORS)}
+
+
+def clip_gpu_series(series):
+    """Clip an ``(..., 7)`` GPU series into every sensor's physical range.
+
+    Used wherever synthetic perturbations (drift injection, augmentation)
+    could push telemetry outside Table III's plausible bounds; returns a
+    new array.
+    """
+    import numpy as np
+
+    series = np.asarray(series, dtype=np.float64)
+    if series.shape[-1] != N_GPU_SENSORS:
+        raise ValueError(
+            f"last axis must have {N_GPU_SENSORS} sensors, "
+            f"got shape {series.shape}"
+        )
+    lo = np.array([s.lo for s in GPU_SENSORS])
+    hi = np.array([s.hi for s in GPU_SENSORS])
+    return np.clip(series, lo, hi)
 
 
 def gpu_sensor_index(name: str) -> int:

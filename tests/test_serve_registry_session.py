@@ -184,3 +184,73 @@ class TestStreamSession:
             StreamSession("j", window=0)
         with pytest.raises(ValueError, match=">= 1"):
             StreamSession("j", hop=0)
+
+
+class TestRegistryLatestMemoAndActivePointer:
+    def test_latest_version_memoized_no_rescan(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.register("m", _ConstantModel())
+        assert registry.latest_version("m") == 1    # scan populates memo
+        # An external writer drops a new version behind the registry's
+        # back: the memo intentionally keeps answering 1 until invalidated.
+        (tmp_path / "m" / "v9.pkl").write_bytes(
+            (tmp_path / "m" / "v1.pkl").read_bytes())
+        assert registry.latest_version("m") == 1
+        registry.invalidate("m")
+        assert registry.latest_version("m") == 9
+        registry.invalidate()                       # all-names form
+        assert registry.latest_version("m") == 9
+
+    def test_register_keeps_memo_coherent(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.register("m", _ConstantModel())
+        assert registry.latest_version("m") == 1
+        registry.register("m", _ConstantModel())    # memo bumps, no rescan
+        assert registry.latest_version("m") == 2
+        registry.register("m", _ConstantModel(), version=7)
+        assert registry.latest_version("m") == 7
+        registry.register("m", _ConstantModel(), version=3)  # backfill
+        assert registry.latest_version("m") == 7    # memo never regresses
+
+    def test_latest_version_unknown_name(self, tmp_path):
+        with pytest.raises(KeyError, match="ghost"):
+            ModelRegistry(tmp_path).latest_version("ghost")
+
+    def test_active_pointer_flip_and_fallback(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.register("m", _ConstantModel())
+        registry.register("m", _ConstantModel())
+        assert registry.active_version("m") == 2    # latest when unset
+        registry.set_active("m", 1)
+        assert registry.active_version("m") == 1
+        assert registry.get_active("m") is registry.get("m", version=1)
+        with pytest.raises(KeyError, match="version 5"):
+            registry.set_active("m", 5)
+        # Stale pointer (active version's pickle deleted) falls back.
+        (tmp_path / "m" / "v1.pkl").unlink()
+        registry.invalidate("m")
+        assert registry.active_version("m") == 2
+
+
+class TestOnlineClassifierMonitorHook:
+    def test_monitor_sees_every_row(self):
+        class _Recorder:
+            """Counts rows forwarded by the classifier."""
+
+            def __init__(self):
+                self.rows = []
+
+            def update(self, row):
+                self.rows.append(np.asarray(row).copy())
+
+        recorder = _Recorder()
+        clf = OnlineWorkloadClassifier(
+            model=_ConstantModel(), window=10, hop=5, monitor=recorder)
+        stream = _samples(23, 1.0, seed=3)
+        clf.push(stream)
+        assert len(recorder.rows) == 23
+        np.testing.assert_array_equal(np.stack(recorder.rows), stream)
+
+    def test_monitor_without_update_rejected(self):
+        with pytest.raises(TypeError, match="update"):
+            OnlineWorkloadClassifier(model=_ConstantModel(), monitor=object())

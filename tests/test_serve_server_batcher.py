@@ -310,7 +310,14 @@ class TestFleetLoadGenerator:
         assert r1.emissions == r2.emissions
         assert r1.n_ticks == r2.n_ticks
         assert s1.batcher.n_predict_calls == s2.batcher.n_predict_calls
-        assert s1.metrics.as_dict() == s2.metrics.as_dict()
+        # batch.predict_wall_s is the one deliberately wall-clock metric
+        # (rollout latency guardrails need real time); everything else
+        # must replay bit-identically.
+        m1, m2 = s1.metrics.as_dict(), s2.metrics.as_dict()
+        wall1 = m1.pop("batch.predict_wall_s")
+        wall2 = m2.pop("batch.predict_wall_s")
+        assert m1 == m2
+        assert wall1["count"] == wall2["count"]
 
     def test_report_contents(self):
         report, server = self._run()
@@ -342,3 +349,140 @@ class TestFleetLoadGenerator:
             FleetLoadGenerator([_series(10)], n_jobs=0)
         with pytest.raises(ValueError, match="labels"):
             FleetLoadGenerator([_series(10)], [1, 2], n_jobs=1)
+
+
+class TestGaugeArithmetic:
+    def test_inc_dec_default_and_sized(self):
+        registry = MetricsRegistry()
+        g = registry.gauge("depth")
+        g.inc()
+        g.inc(4)
+        g.dec()
+        g.dec(1.5)
+        assert g.value == pytest.approx(2.5)
+
+    def test_set_overrides_accumulation(self):
+        g = MetricsRegistry().gauge("g")
+        g.inc(10)
+        g.set(3)
+        g.dec(3)
+        assert g.value == 0
+
+
+class TestHistogramRunningExtremes:
+    def test_min_max_survive_decimation(self):
+        h = Histogram("lat", capacity=32)
+        h.observe(123.0)                    # early max
+        h.observe(-7.0)                     # early min
+        for v in range(1000):               # forces repeated decimation
+            h.observe(float(v % 50))
+        s = h.summary()
+        assert s["min"] == -7.0
+        assert s["max"] == 123.0
+        assert len(h._values) < 32          # reservoir decimated, extremes kept
+
+    def test_extremes_track_every_observation(self):
+        h = Histogram("lat")
+        for v in (3.0, 1.0, 2.0):
+            h.observe(v)
+        assert (h.summary()["min"], h.summary()["max"]) == (1.0, 3.0)
+
+
+class _RecordingTap:
+    """Tap that records every hook invocation."""
+
+    def __init__(self):
+        self.ingress = []
+        self.batches = []
+        self.ended = []
+
+    def on_ingress(self, job_id, samples):
+        self.ingress.append((job_id, samples.shape))
+
+    def on_batch(self, completions):
+        self.batches.append(len(completions))
+
+    def end_session(self, job_id):
+        self.ended.append(job_id)
+
+
+class TestServerTaps:
+    def _server(self, tap):
+        clock = SimulatedClock()
+        return InferenceServer(
+            _CountingModel(),
+            ServeConfig(window=10, hop=5, max_batch=4, flush_deadline_s=0.0),
+            clock=clock, taps=[tap]), clock
+
+    def test_taps_observe_ingress_batches_and_session_end(self):
+        tap = _RecordingTap()
+        server, clock = self._server(tap)
+        server.submit("job", _series(20, seed=1))
+        emissions = server.step()
+        assert emissions                     # traffic actually flowed
+        assert tap.ingress == [("job", (20, 7))]
+        assert sum(tap.batches) == len(emissions)
+        server.end_session("job")
+        server.end_session("job")            # idempotent notify
+        assert tap.ended == ["job", "job"]
+
+    def test_ingress_only_tap_accepted(self):
+        class _IngressOnly:
+            def on_ingress(self, job_id, samples):
+                pass
+
+        server, _ = self._server(_IngressOnly())
+        server.submit("j", _series(12, seed=2))
+        assert server.step() is not None
+
+    def test_tap_without_hooks_rejected(self):
+        with pytest.raises(TypeError, match="on_ingress"):
+            InferenceServer(_CountingModel(), taps=[object()])
+
+
+class TestLoadgenDriftHook:
+    def _series_pair(self):
+        return [_series(60, level=1.0, seed=1), _series(60, level=-1.0, seed=2)]
+
+    def test_injected_streams_deterministic_and_length_preserving(self):
+        from repro.monitor import DriftInjection
+
+        # clip=False: _series() telemetry is synthetic, not physical.
+        drift = DriftInjection(start_sample=20, ramp_samples=10,
+                               gain=1.5, sensors=(0,), clip=False)
+        make = lambda: FleetLoadGenerator(
+            self._series_pair(), [1, 0], n_jobs=4, samples_per_tick=10,
+            seed=9, drift=drift)
+        g1, g2 = make(), make()
+        for job in range(4):
+            clean = FleetLoadGenerator(
+                self._series_pair(), [1, 0], n_jobs=4,
+                samples_per_tick=10, seed=9).job_stream(job)
+            np.testing.assert_array_equal(g1.job_stream(job),
+                                          g2.job_stream(job))
+            assert g1.job_stream(job).shape == clean.shape
+            np.testing.assert_array_equal(g1.job_stream(job)[:20], clean[:20])
+            assert not np.array_equal(g1.job_stream(job)[40:], clean[40:])
+
+    def test_class_shift_splices_donor_of_other_class(self):
+        from repro.monitor import DriftInjection
+
+        drift = DriftInjection(start_sample=30, class_shift_fraction=0.5)
+        gen = FleetLoadGenerator(
+            self._series_pair(), [1, 0], n_jobs=4, samples_per_tick=10,
+            seed=9, drift=drift)
+        shifted = gen.class_shifted_jobs()
+        assert len(shifted) == 2
+        for job, donor in shifted.items():
+            assert gen.true_label(job) != [1, 0][donor]
+            np.testing.assert_array_equal(
+                gen.job_stream(job)[30:],
+                gen.series[donor][30:60])
+
+    def test_class_shift_without_labels_rejected(self):
+        from repro.monitor import DriftInjection
+
+        with pytest.raises(ValueError, match="labels"):
+            FleetLoadGenerator(
+                self._series_pair(), None, n_jobs=2,
+                drift=DriftInjection(class_shift_fraction=0.5))
