@@ -21,7 +21,8 @@ Subpackages
     From-scratch classical ML: SVC/SMO, random forest, Newton boosting,
     PCA, covariance features, grid-search CV, metrics.
 ``repro.nn``
-    NumPy autograd, LSTM/Conv1d layers, optimizers, trainer.
+    NumPy autograd, LSTM/Conv1d layers, optimizers, trainer with
+    crash-safe checkpoint/resume.
 ``repro.models``
     The paper's baseline configurations (Sections IV & V).
 ``repro.core``
@@ -29,6 +30,9 @@ Subpackages
 ``repro.serve``
     Fleet-scale streaming inference: model registry, micro-batching
     server, metrics, deterministic load generator.
+``repro.resilience``
+    Crash-safety toolkit: fault injection, retry with backoff, and the
+    ``repro resilience-bench`` kill/resume harness.
 ``repro.parallel``
     Process-pool map and shared-memory arrays.
 """

@@ -2,15 +2,17 @@
 
 Four subcommands cover the common workflows end to end::
 
-    python -m repro simulate      --scale 0.05 --npz-dir release/ --csv-dir logs/
-    python -m repro evaluate      --model rf_cov --dataset 60-middle-1 --scale 0.05
-    python -m repro efficiency    --scale 0.02
-    python -m repro serve-bench   --scale 0.02 --jobs 50
-    python -m repro monitor-bench --scale 0.02 --jobs 24 --challenger good
+    python -m repro simulate         --scale 0.05 --npz-dir release/ --csv-dir logs/
+    python -m repro evaluate         --model rf_cov --dataset 60-middle-1 --scale 0.05
+    python -m repro efficiency       --scale 0.02
+    python -m repro serve-bench      --scale 0.02 --jobs 50
+    python -m repro monitor-bench    --scale 0.02 --jobs 24 --challenger good
+    python -m repro resilience-bench --scale 0.01 --mtbf-epochs 2
 
 All commands are deterministic for a given ``--seed`` (``serve-bench`` and
 ``monitor-bench`` wall-clock throughput varies with the machine; every
-classification, batch, shed, drift and rollout decision does not).
+classification, batch, shed, drift, rollout and preemption decision does
+not).
 """
 
 from __future__ import annotations
@@ -126,6 +128,27 @@ def build_parser() -> argparse.ArgumentParser:
                             "challenger during canary (default 0.4)")
     p_mon.add_argument("--registry-dir",
                        help="model registry directory (default: a "
+                            "temporary directory)")
+
+    p_res = sub.add_parser(
+        "resilience-bench",
+        help="SIGKILL an LSTM training run at simulated preemptions and "
+             "registry writers mid-save; assert checkpoint/resume is "
+             "bit-identical and the registry keeps serving",
+    )
+    add_common(p_res)
+    p_res.set_defaults(scale=0.01)
+    p_res.add_argument("--epochs", type=int, default=5,
+                       help="training epochs for both twins (default 5)")
+    p_res.add_argument("--hidden", type=int, default=8,
+                       help="LSTM hidden size (default 8; paper: 128)")
+    p_res.add_argument("--time-stride", type=int, default=8,
+                       help="window subsampling for CPU budget (default 8)")
+    p_res.add_argument("--mtbf-epochs", type=float, default=2.0,
+                       help="mean epochs between injected preemptions "
+                            "(default 2.0)")
+    p_res.add_argument("--workdir",
+                       help="checkpoint/registry directory (default: a "
                             "temporary directory)")
     return parser
 
@@ -313,6 +336,27 @@ def _cmd_monitor_bench(args) -> int:
     return 0 if report.state == expected else 1
 
 
+def _cmd_resilience_bench(args) -> int:
+    from repro.resilience.bench import ResilienceBenchConfig, run_resilience_bench
+
+    config = ResilienceBenchConfig(
+        seed=args.seed,
+        scale=args.scale,
+        hidden_size=args.hidden,
+        time_stride=args.time_stride,
+        max_epochs=args.epochs,
+        patience=args.epochs,
+        mtbf_epochs=args.mtbf_epochs,
+        workdir=args.workdir,
+    )
+    report = run_resilience_bench(config)
+    print(report.format())
+    print(f"\n({report.fit_seconds:.1f}s total)")
+    verdict = "ok" if report.ok else "VIOLATED"
+    print(f"resilience verdict: {verdict}")
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -322,6 +366,7 @@ def main(argv: list[str] | None = None) -> int:
         "efficiency": _cmd_efficiency,
         "serve-bench": _cmd_serve_bench,
         "monitor-bench": _cmd_monitor_bench,
+        "resilience-bench": _cmd_resilience_bench,
     }
     return handlers[args.command](args)
 

@@ -76,15 +76,31 @@ def cross_val_score(
     *,
     cv: int | StratifiedKFold = 5,
     params: dict[str, Any] | None = None,
+    n_jobs: int = 1,
 ) -> np.ndarray:
-    """Per-fold validation accuracies of one estimator configuration."""
+    """Per-fold validation accuracies of one estimator configuration.
+
+    ``n_jobs > 1`` fans the folds out over a process pool
+    (:mod:`repro.parallel`); scores are identical either way because each
+    fold is a pure function of (params, fold indices).
+    """
     splitter = StratifiedKFold(cv) if isinstance(cv, int) else cv
     params = params or {}
     X = np.asarray(X)
     y = np.asarray(y)
+    folds = list(splitter.split(X, y))
+    if n_jobs > 1:
+        from repro.parallel import parallel_map
+
+        scores = parallel_map(
+            _GridTask(estimator, X, y),
+            [(0, fi, params, tr, va) for fi, (tr, va) in enumerate(folds)],
+            n_jobs=n_jobs,
+        )
+        return np.array(scores)
     return np.array(
         [_fit_score_one(estimator, params, X, y, tr, va)
-         for tr, va in splitter.split(X, y)]
+         for tr, va in folds]
     )
 
 
@@ -144,8 +160,10 @@ class GridSearchCV(BaseEstimator, ClassifierMixin):
                 [(ci, fi, params, tr, va) for ci, fi, params, tr, va in tasks],
                 n_jobs=self.n_jobs,
             )
-            for (ci, fi, *_), score in zip(tasks, results):
+            for (ci, fi, params, *_), score in zip(tasks, results):
                 scores[ci, fi] = score
+                if self.verbose:
+                    print(f"[grid] cand {ci} fold {fi}: {scores[ci, fi]:.4f} {params}")
         else:
             for ci, fi, params, tr, va in tasks:
                 scores[ci, fi] = _fit_score_one(self.estimator, params, X, y, tr, va)

@@ -58,6 +58,17 @@ class Module:
         for module in self._modules.values():
             yield from module.modules()
 
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        """Iterate over (qualified_name, module) pairs, root first.
+
+        The root's name is ``""``; children are dotted attribute paths
+        (``"lstm1.fw"``), matching :meth:`named_parameters` prefixes.
+        """
+        yield prefix, self
+        for mod_name, module in self._modules.items():
+            child = f"{prefix}.{mod_name}" if prefix else mod_name
+            yield from module.named_modules(prefix=child)
+
     def n_parameters(self) -> int:
         """Total number of trainable scalar parameters."""
         return sum(p.size for p in self.parameters())

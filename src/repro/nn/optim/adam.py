@@ -37,6 +37,26 @@ class Adam(Optimizer):
         self._v = [np.zeros_like(p.data) for p in self.params]
         self._t = 0
 
+    def state_dict(self) -> dict:
+        """Copy of lr, step count, and first/second moment estimates."""
+        state = super().state_dict()
+        state["m"] = [m.copy() for m in self._m]
+        state["v"] = [v.copy() for v in self._v]
+        state["t"] = self._t
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state saved by :meth:`state_dict`."""
+        super().load_state_dict(state)
+        if len(state["m"]) != len(self._m):
+            raise ValueError(
+                f"moment count mismatch: checkpoint has {len(state['m'])}, "
+                f"optimizer has {len(self._m)} parameters"
+            )
+        self._m = [m.copy() for m in state["m"]]
+        self._v = [v.copy() for v in state["v"]]
+        self._t = int(state["t"])
+
     def step(self) -> None:
         """Apply one optimization update from accumulated gradients."""
         self._t += 1

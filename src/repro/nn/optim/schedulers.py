@@ -33,6 +33,20 @@ class _Scheduler:
         self.optimizer.lr = lr
         return lr
 
+    def state_dict(self) -> dict:
+        """Copy of the schedule position (for checkpointing)."""
+        return {"step_count": self.step_count, "base_lr": self.base_lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a position saved by :meth:`state_dict`.
+
+        ``base_lr`` keeps its stored scalar type (see
+        ``Optimizer.load_state_dict`` on why coercion breaks bit-identical
+        resume).
+        """
+        self.step_count = int(state["step_count"])
+        self.base_lr = state["base_lr"]
+
 
 class ConstantLR(_Scheduler):
     """No-op schedule (baseline for scheduler ablations)."""

@@ -29,6 +29,25 @@ class Optimizer:
         """Apply one optimization update from accumulated gradients."""
         raise NotImplementedError
 
+    def state_dict(self) -> dict:
+        """Copy of the optimizer's mutable state (for checkpointing).
+
+        Subclasses extend this with their moment buffers; parameter
+        *values* are not included (they live in the model's state dict).
+        """
+        return {"lr": self.lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state saved by :meth:`state_dict`.
+
+        ``lr`` is restored with its exact scalar type: a schedule-set
+        ``np.float64`` promotes ``lr * grad`` to float64 while a Python
+        float keeps float32 (NEP 50 weak promotion), so coercing here
+        would change the first post-resume update by one ulp and break
+        bit-identical resume.
+        """
+        self.lr = state["lr"]
+
     def clip_grad_norm(self, max_norm: float) -> float:
         """Global-norm gradient clipping; returns the pre-clip norm."""
         total = 0.0
@@ -55,6 +74,23 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.weight_decay = weight_decay
         self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def state_dict(self) -> dict:
+        """Copy of lr and per-parameter momentum buffers."""
+        state = super().state_dict()
+        state["velocity"] = [v.copy() for v in self._velocity]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state saved by :meth:`state_dict`."""
+        super().load_state_dict(state)
+        velocity = state["velocity"]
+        if len(velocity) != len(self._velocity):
+            raise ValueError(
+                f"velocity count mismatch: checkpoint has {len(velocity)}, "
+                f"optimizer has {len(self._velocity)} parameters"
+            )
+        self._velocity = [v.copy() for v in velocity]
 
     def step(self) -> None:
         """Apply one optimization update from accumulated gradients."""

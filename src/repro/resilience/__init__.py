@@ -1,0 +1,50 @@
+"""Crash-safety toolkit: fault injection, retries, and the resilience bench.
+
+At fleet scale the dominant operational cost is not steady-state compute
+but preemptions, node failures and the corrupt state they leave behind
+(Kokolis et al., "Revisiting Reliability in Large-Scale ML Research
+Clusters").  This package holds the machinery for *proving* the repo
+survives them:
+
+* :mod:`repro.resilience.faults` — named fault points + deterministic
+  injector (SIGKILL or raise, on the N-th hit) wired into the durable
+  write path and the training loop.
+* :mod:`repro.resilience.retry` — bounded exponential backoff for
+  transient load failures.
+* :mod:`repro.resilience.bench` — the ``repro resilience-bench`` runner:
+  kills training at a simcluster-sampled preemption, resumes from the
+  checkpoint, and asserts bit-identical history; kills registry writers
+  mid-save and asserts the previous version still serves.
+
+The crash-safe primitives themselves live where their callers are:
+atomic replace + CRC32 checksums in :mod:`repro.utils.persist`,
+checkpoint/resume in :mod:`repro.nn.training.checkpoint`.
+(:mod:`repro.resilience.bench` is imported lazily by the CLI — importing
+this package does not pull in the nn/data stack.)
+"""
+
+from repro.resilience.faults import (
+    FAULT_POINTS,
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    fault_point,
+    inject,
+    install,
+    uninstall,
+)
+from repro.resilience.retry import RetryPolicy, load_model_with_retry, retry_call
+
+__all__ = [
+    "FAULT_POINTS",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "fault_point",
+    "inject",
+    "install",
+    "uninstall",
+    "RetryPolicy",
+    "retry_call",
+    "load_model_with_retry",
+]

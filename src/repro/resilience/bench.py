@@ -1,0 +1,392 @@
+"""The ``repro resilience-bench`` harness.
+
+End-to-end proof that the stack survives the failures a fleet actually
+sees, asserted (not eyeballed):
+
+1. **Preempted training resumes bit-identically.**  An LSTM baseline run
+   is SIGKILLed *mid-epoch* at preemption times sampled from the
+   simulated cluster's failure process, restarted from its crash-safe
+   checkpoint after each death, and the stitched-together history must
+   match the fault-free run's history bit for bit — same losses, same
+   validation accuracies, same LR trajectory, same final test accuracy.
+2. **A writer killed mid-save cannot corrupt the registry.**  Children
+   are SIGKILLed halfway through ``register`` and right before the
+   ``ACTIVE`` pointer flip; the registry must keep serving the prior
+   version with no load errors, ignore stray ``*.tmp`` files, detect a
+   bit-flipped archive via its CRC32, and warn-and-recover from a
+   garbled ``ACTIVE`` pointer.
+
+Every violated invariant is reported and turns into a nonzero CLI exit.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+import time
+import warnings
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.resilience.faults import FaultInjector, FaultSpec, install
+from repro.simcluster.preemption import PreemptionProcess
+
+__all__ = ["ResilienceBenchConfig", "ResilienceBenchReport", "run_resilience_bench"]
+
+_CHECKPOINT_NAME = "lstm.ckpt"
+
+
+@dataclass(frozen=True)
+class ResilienceBenchConfig:
+    """Knobs for :func:`run_resilience_bench`.
+
+    ``mtbf_epochs`` is the mean time between preemptions measured in
+    training epochs; with the default the nominal run is preempted about
+    twice.  ``workdir=None`` uses a fresh temporary directory.
+    """
+
+    seed: int = 2022
+    scale: float = 0.01
+    dataset: str = "60-middle-1"
+    hidden_size: int = 8
+    time_stride: int = 8
+    max_epochs: int = 5
+    patience: int = 5
+    batch_size: int = 32
+    lr: float = 2e-3
+    cycle_len: int = 4
+    mtbf_epochs: float = 2.0
+    workdir: str | None = None
+
+
+@dataclass
+class ResilienceBenchReport:
+    """Outcome of one bench run; ``ok`` is the CI verdict."""
+
+    kill_epochs: list[int] = field(default_factory=list)
+    n_deaths: int = 0
+    epochs_run: int = 0
+    histories_match: bool = False
+    baseline_accuracy: float = float("nan")
+    resumed_accuracy: float = float("nan")
+    accuracy_equal: bool = False
+    register_kill_safe: bool = False
+    active_flip_kill_safe: bool = False
+    stray_tmp_ignored: bool = False
+    corruption_detected: bool = False
+    garbled_pointer_recovered: bool = False
+    fit_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when every resilience invariant held."""
+        return (
+            self.n_deaths >= 1
+            and self.histories_match
+            and self.accuracy_equal
+            and self.register_kill_safe
+            and self.active_flip_kill_safe
+            and self.stray_tmp_ignored
+            and self.corruption_detected
+            and self.garbled_pointer_recovered
+        )
+
+    def format(self) -> str:
+        """Human-readable pass/fail table."""
+        def mark(flag: bool) -> str:
+            return "PASS" if flag else "FAIL"
+
+        lines = [
+            f"preemptions injected (epochs {self.kill_epochs}): "
+            f"{self.n_deaths} SIGKILLs survived",
+            f"[{mark(self.histories_match)}] resumed history bit-identical "
+            f"to fault-free run ({self.epochs_run} epochs)",
+            f"[{mark(self.accuracy_equal)}] final test accuracy equal "
+            f"(fault-free {self.baseline_accuracy:.2%}, "
+            f"resumed {self.resumed_accuracy:.2%})",
+            f"[{mark(self.register_kill_safe)}] register() killed mid-write: "
+            "prior version still serves, no load error",
+            f"[{mark(self.active_flip_kill_safe)}] set_active() killed before "
+            "flip: promotion never half-applied",
+            f"[{mark(self.stray_tmp_ignored)}] stray .tmp files invisible to "
+            "the registry",
+            f"[{mark(self.corruption_detected)}] bit-flipped archive rejected "
+            "by CRC32 check",
+            f"[{mark(self.garbled_pointer_recovered)}] garbled ACTIVE pointer: "
+            "warned and fell back to latest",
+        ]
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# child workers (module-level: must be picklable for the spawn context)
+
+def _build_trainer(payload: dict):
+    """Reconstruct the bench trainer exactly (same seeds every process)."""
+    from repro.models import LSTMClassifier
+    from repro.nn.loss import NLLLoss
+    from repro.nn.optim.adam import Adam
+    from repro.nn.optim.schedulers import CyclicCosineLR
+    from repro.nn.training import Trainer
+
+    model = LSTMClassifier(
+        n_sensors=int(payload["n_sensors"]),
+        seq_len=int(payload["seq_len"]),
+        n_classes=int(payload["n_classes"]),
+        hidden_size=int(payload["hidden_size"]),
+        seed=int(payload["seed"]),
+    )
+    optimizer = Adam(model.parameters(), lr=float(payload["lr"]))
+    scheduler = CyclicCosineLR(optimizer, cycle_len=int(payload["cycle_len"]))
+    return Trainer(
+        model,
+        optimizer,
+        NLLLoss(),
+        scheduler=scheduler,
+        batch_size=int(payload["batch_size"]),
+        max_epochs=int(payload["max_epochs"]),
+        patience=int(payload["patience"]),
+        shuffle_rng=int(payload["seed"]),
+    )
+
+
+def _crash_training_worker(payload: dict) -> None:
+    """Child: train (or resume) with a SIGKILL scheduled mid-epoch."""
+    install(FaultInjector([
+        FaultSpec("trainer.mid_epoch", at_hit=int(payload["kill_hit"]), mode="kill")
+    ]))
+    trainer = _build_trainer(payload)
+    ckpt = payload["checkpoint_path"]
+    data = (payload["X_train"], payload["y_train"],
+            payload["X_val"], payload["y_val"])
+    if payload["resume"]:
+        trainer.resume(ckpt, *data)
+    else:
+        trainer.fit(*data, checkpoint_path=ckpt)
+    raise SystemExit("worker was supposed to die before finishing")
+
+
+def _crash_registry_worker(payload: dict) -> None:
+    """Child: run one registry write with a SIGKILL scheduled inside it."""
+    from repro.serve.registry import ModelRegistry
+
+    install(FaultInjector([FaultSpec(payload["point"], mode="kill")]))
+    registry = ModelRegistry(payload["root"])
+    if payload["op"] == "register":
+        registry.register(
+            payload["name"], payload["model"], version=int(payload["version"])
+        )
+    else:
+        registry.set_active(payload["name"], int(payload["version"]))
+    raise SystemExit("worker was supposed to die before finishing")
+
+
+def _run_to_sigkill(worker, payload: dict, *, timeout_s: float = 300.0) -> bool:
+    """Run ``worker(payload)`` in a child; True iff it died by SIGKILL."""
+    ctx = multiprocessing.get_context("spawn")
+    proc = ctx.Process(target=worker, args=(payload,))
+    proc.start()
+    proc.join(timeout_s)
+    if proc.is_alive():  # pragma: no cover - hang safety net
+        proc.kill()
+        proc.join()
+        return False
+    return proc.exitcode == -signal.SIGKILL
+
+
+# ----------------------------------------------------------------------
+
+def _bench_data(config: ResilienceBenchConfig):
+    """Standardized, time-strided arrays for the bench's LSTM run."""
+    from repro.core import WorkloadClassificationChallenge
+    from repro.ml.preprocessing import TimeSeriesStandardScaler
+    from repro.simcluster.cluster import SimulationConfig
+
+    challenge = WorkloadClassificationChallenge.from_simulation(
+        SimulationConfig(
+            seed=config.seed,
+            trials_scale=config.scale,
+            min_jobs_per_class=3,
+            startup_mean_s=28.0,
+        ),
+        names=(config.dataset,),
+    )
+    ds = challenge.dataset(config.dataset)
+    scaler = TimeSeriesStandardScaler()
+    X_train = scaler.fit_transform(ds.X_train).astype(np.float32)
+    X_test = scaler.transform(ds.X_test).astype(np.float32)
+    if config.time_stride > 1:
+        X_train = np.ascontiguousarray(X_train[:, :: config.time_stride])
+        X_test = np.ascontiguousarray(X_test[:, :: config.time_stride])
+    n_classes = int(max(ds.y_train.max(), ds.y_test.max())) + 1
+    return X_train, ds.y_train, X_test, ds.y_test, n_classes
+
+
+def _training_scenario(config: ResilienceBenchConfig, workdir: Path,
+                       report: ResilienceBenchReport) -> None:
+    """Kill training at sampled preemptions; resume; compare histories."""
+    from repro.nn.training import load_checkpoint
+
+    X_train, y_train, X_val, y_val, n_classes = _bench_data(config)
+    payload = {
+        "n_sensors": X_train.shape[2],
+        "seq_len": X_train.shape[1],
+        "n_classes": n_classes,
+        "hidden_size": config.hidden_size,
+        "seed": config.seed,
+        "lr": config.lr,
+        "cycle_len": config.cycle_len,
+        "batch_size": config.batch_size,
+        "max_epochs": config.max_epochs,
+        "patience": config.patience,
+        "X_train": X_train, "y_train": y_train,
+        "X_val": X_val, "y_val": y_val,
+    }
+
+    # Fault-free twin.
+    baseline = _build_trainer(payload)
+    history_free = baseline.fit(X_train, y_train, X_val, y_val)
+    report.baseline_accuracy = baseline.evaluate_accuracy(X_val, y_val)
+
+    # Preemption schedule from the simulated cluster's failure process.
+    process = PreemptionProcess(
+        config.mtbf_epochs, seed=config.seed, job="resilience-bench"
+    )
+    kill_epochs = [
+        e for e in process.kill_epochs(config.max_epochs, epoch_s=1.0)
+        if e <= len(history_free.epochs)
+    ]
+    if not kill_epochs:  # guarantee at least one injected preemption
+        kill_epochs = [max(1, len(history_free.epochs) // 2)]
+    report.kill_epochs = kill_epochs
+
+    ckpt = workdir / _CHECKPOINT_NAME
+    n = X_train.shape[0]
+    n_batches = -(-n // config.batch_size)
+    mid_batch = n_batches // 2 + 1
+
+    for kill_epoch in kill_epochs:
+        resume = ckpt.is_file()
+        start_epoch = load_checkpoint(ckpt).epoch if resume else 0
+        if kill_epoch <= start_epoch:  # already past this preemption
+            continue
+        child = dict(payload)
+        child.update({
+            "checkpoint_path": str(ckpt),
+            "resume": resume,
+            "kill_hit": (kill_epoch - start_epoch - 1) * n_batches + mid_batch,
+        })
+        if _run_to_sigkill(_crash_training_worker, child):
+            report.n_deaths += 1
+
+    # Final incarnation finishes in-process.
+    survivor = _build_trainer(payload)
+    if ckpt.is_file():
+        history = survivor.resume(ckpt, X_train, y_train, X_val, y_val)
+    else:  # every kill hit epoch 1 before the first checkpoint
+        history = survivor.fit(
+            X_train, y_train, X_val, y_val, checkpoint_path=ckpt
+        )
+    report.epochs_run = len(history.epochs)
+    report.histories_match = history_free.matches(history)
+    report.resumed_accuracy = survivor.evaluate_accuracy(X_val, y_val)
+    report.accuracy_equal = (
+        report.baseline_accuracy == report.resumed_accuracy
+    )
+
+
+@dataclass
+class _StubModel:
+    """Tiny picklable stand-in for a fitted pipeline in registry tests."""
+
+    version: int
+    blob: bytes = b""
+
+
+def _registry_scenario(workdir: Path, report: ResilienceBenchReport) -> None:
+    """Kill registry writers mid-save; verify the prior version survives."""
+    from repro.serve.registry import ModelRegistry
+    from repro.utils.persist import load_model, save_model
+
+    root = workdir / "registry"
+    registry = ModelRegistry(root)
+    registry.register("clf", _StubModel(1, b"x" * 4096), version=1)
+    registry.set_active("clf", 1)
+
+    # (a) writer SIGKILLed halfway through pickling version 2.
+    died = _run_to_sigkill(_crash_registry_worker, {
+        "root": str(root), "op": "register", "name": "clf", "version": 2,
+        "point": "persist.mid_write",
+        "model": _StubModel(2, b"y" * 4096),
+    })
+    fresh = ModelRegistry(root)  # what a restarted server sees
+    try:
+        served = fresh.get_active("clf")
+        report.register_kill_safe = (
+            died and fresh.versions("clf") == [1] and served.version == 1
+        )
+    except (ValueError, KeyError):
+        report.register_kill_safe = False
+    report.stray_tmp_ignored = (
+        any(p.suffix == ".tmp" for p in (root / "clf").iterdir())
+        and fresh.versions("clf") == [1]
+    )
+
+    # (b) version 2 lands, but the promoter dies right before the flip.
+    registry.register("clf", _StubModel(2, b"y" * 4096), version=2)
+    died = _run_to_sigkill(_crash_registry_worker, {
+        "root": str(root), "op": "set_active", "name": "clf", "version": 2,
+        "point": "registry.before_active_flip",
+    })
+    fresh = ModelRegistry(root)
+    report.active_flip_kill_safe = (
+        died
+        and fresh.active_version("clf") == 1
+        and fresh.get_active("clf").version == 1
+    )
+
+    # (c) silent corruption: flip one payload byte, CRC must catch it.
+    victim = workdir / "corrupt.pkl"
+    save_model(_StubModel(9, b"z" * 4096), victim)
+    raw = bytearray(victim.read_bytes())
+    raw[len(raw) // 2] ^= 0xFF
+    victim.write_bytes(bytes(raw))
+    try:
+        load_model(victim)
+        report.corruption_detected = False
+    except ValueError:
+        report.corruption_detected = True
+
+    # (d) garbled ACTIVE pointer: warn, fall back to latest, keep serving.
+    (root / "clf" / "ACTIVE").write_text("###garbage###\n")
+    fresh = ModelRegistry(root)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        version = fresh.active_version("clf")
+    report.garbled_pointer_recovered = (
+        version == 2
+        and any("garbled" in str(w.message) for w in caught)
+        and fresh.get_active("clf").version == 2
+    )
+
+
+def run_resilience_bench(
+    config: ResilienceBenchConfig | None = None,
+) -> ResilienceBenchReport:
+    """Run both scenarios; see :class:`ResilienceBenchReport` for verdicts."""
+    import tempfile
+
+    config = config or ResilienceBenchConfig()
+    workdir = Path(
+        config.workdir or tempfile.mkdtemp(prefix="repro-resilience-")
+    )
+    workdir.mkdir(parents=True, exist_ok=True)
+    report = ResilienceBenchReport()
+    tic = time.perf_counter()
+    _training_scenario(config, workdir, report)
+    _registry_scenario(workdir, report)
+    report.fit_seconds = time.perf_counter() - tic
+    return report

@@ -1,0 +1,91 @@
+"""Retry-with-backoff for transient load failures.
+
+A reader can race a writer even with atomic replacement: the model file may
+not exist *yet* (registry rsync in flight), or an NFS attribute cache can
+briefly serve a stale view.  Those failures are transient — the correct
+response is a short, bounded, deterministic backoff, not a crash and not an
+unbounded spin.
+
+:func:`retry_call` is the generic wrapper; :func:`load_model_with_retry`
+is the common case pre-wired for :func:`repro.utils.persist.load_model`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, TypeVar
+
+__all__ = ["RetryPolicy", "retry_call", "load_model_with_retry"]
+
+R = TypeVar("R")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff.
+
+    ``attempts`` total tries; the k-th failure (k from 0) sleeps
+    ``min(base_delay_s * growth**k, max_delay_s)`` before the next try.
+    Deterministic: no jitter, so tests and benches replay exactly.
+    """
+
+    attempts: int = 3
+    base_delay_s: float = 0.05
+    growth: float = 2.0
+    max_delay_s: float = 1.0
+
+    def __post_init__(self):
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        if self.growth < 1.0:
+            raise ValueError(f"growth must be >= 1, got {self.growth}")
+
+    def delay(self, failure_index: int) -> float:
+        """Sleep before retry number ``failure_index + 1`` (0-based)."""
+        return min(self.base_delay_s * self.growth**failure_index, self.max_delay_s)
+
+
+def retry_call(
+    fn: Callable[[], R],
+    *,
+    policy: RetryPolicy | None = None,
+    retry_on: tuple[type[BaseException], ...] = (OSError, ValueError),
+    sleep: Callable[[float], None] = time.sleep,
+) -> R:
+    """Call ``fn`` until it succeeds or the policy's attempts are spent.
+
+    Only exceptions in ``retry_on`` are retried — by default ``OSError``
+    (missing/locked file) and ``ValueError`` (truncated or mid-checksum
+    archive, the signature of reading a file while its writer dies).  The
+    last failure is re-raised unchanged when attempts run out.
+    """
+    policy = policy or RetryPolicy()
+    for attempt in range(policy.attempts):
+        try:
+            return fn()
+        except retry_on:
+            if attempt == policy.attempts - 1:
+                raise
+            sleep(policy.delay(attempt))
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def load_model_with_retry(
+    path: str | Path,
+    *,
+    policy: RetryPolicy | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+):
+    """:func:`repro.utils.persist.load_model` with transient-failure retry."""
+    from repro.utils.persist import load_model
+
+    return retry_call(
+        lambda: load_model(path),
+        policy=policy,
+        retry_on=(FileNotFoundError, ValueError, OSError),
+        sleep=sleep,
+    )

@@ -13,10 +13,12 @@ and deserializing a forest per request would dwarf the predict cost.
 from __future__ import annotations
 
 import re
+import warnings
 from collections import OrderedDict
 from pathlib import Path
 
-from repro.utils.persist import load_model, save_model
+from repro.resilience.faults import fault_point
+from repro.utils.persist import atomic_write_bytes, load_model, save_model
 
 __all__ = ["ModelRegistry"]
 
@@ -148,27 +150,46 @@ class ModelRegistry:
 
         The pointer is a plain ``ACTIVE`` file next to the version pickles
         (survives restarts, rsyncs with the registry); rollout controllers
-        flip it on promotion and rollback.  Raises ``KeyError`` when the
-        version is not registered.
+        flip it on promotion and rollback.  The flip is atomic — a crash
+        mid-write leaves the previous pointer intact, never a truncated
+        one.  Raises ``KeyError`` when the version is not registered.
         """
         if version not in self.versions(name):
             raise KeyError(f"no model {name!r} version {version} in {self.root}")
-        (self.root / name / "ACTIVE").write_text(f"{version}\n")
+        fault_point("registry.before_active_flip")
+        atomic_write_bytes(
+            self.root / name / "ACTIVE", f"{version}\n".encode("ascii")
+        )
 
     def active_version(self, name: str) -> int:
         """The promoted version of ``name`` (latest when never pointed).
 
-        A stale pointer — e.g. the active version's file was deleted —
-        falls back to the latest registered version.
+        A stale pointer — e.g. the active version's file was deleted — or
+        a garbled one (torn write from a pre-atomic-write release, bad
+        rsync) falls back to the latest registered version **with a
+        warning**: silently un-promoting a rollback would re-serve the
+        exact model an operator just pulled.
         """
         marker = self.root / name / "ACTIVE"
         if marker.is_file():
+            text = marker.read_text()
             try:
-                version = int(marker.read_text().strip())
+                version = int(text.strip())
             except ValueError:
+                warnings.warn(
+                    f"garbled ACTIVE pointer for {name!r} "
+                    f"({text!r:.40}): falling back to latest version",
+                    stacklevel=2,
+                )
                 version = -1
             if version in self.versions(name):
                 return version
+            if version != -1:
+                warnings.warn(
+                    f"stale ACTIVE pointer for {name!r} (v{version} not "
+                    "registered): falling back to latest version",
+                    stacklevel=2,
+                )
         return self.latest_version(name)
 
     def get_active(self, name: str):

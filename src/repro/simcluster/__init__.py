@@ -44,6 +44,7 @@ from repro.simcluster.workload import WorkloadGenerator, GpuSeries, JobTelemetry
 from repro.simcluster.cpu_model import CpuModel
 from repro.simcluster.filesystem import FS_COUNTER_NAMES, FsCounters, FsModel
 from repro.simcluster.nodestate import ClusterStateSeries, NodeSnapshot, snapshot_cluster
+from repro.simcluster.preemption import PreemptionEvent, PreemptionProcess
 from repro.simcluster.scheduler import JobRecord, SchedulerLog
 from repro.simcluster.anonymize import anonymize_id
 from repro.simcluster.cluster import ClusterSimulator, SimulationConfig, SimulatedJob
@@ -80,6 +81,8 @@ __all__ = [
     "FS_COUNTER_NAMES",
     "FsCounters",
     "FsModel",
+    "PreemptionEvent",
+    "PreemptionProcess",
     "JobRecord",
     "SchedulerLog",
     "ClusterStateSeries",

@@ -1,9 +1,21 @@
-"""Model persistence.
+"""Crash-safe model persistence.
 
 Fitted estimators in this package are plain Python objects over NumPy
-arrays, so pickling is safe and complete.  These helpers add the two
-things raw pickle lacks: a format header that rejects non-repro files
-early, and a version stamp so future releases can warn on mismatches.
+arrays, so pickling is safe and complete.  These helpers add what raw
+pickle lacks:
+
+* a format header that rejects non-repro files early, with a version
+  stamp so future releases can warn on mismatches;
+* **atomic writes** — payloads are written to a temporary file in the
+  destination directory, fsynced, then ``os.replace``d over the target, so
+  a crash at any instant leaves either the old file or the new file, never
+  a truncated hybrid (a stray ``*.tmp`` at worst);
+* an optional **CRC32 checksum** over the pickled model bytes, stored in
+  the ``repro-model-v1`` header, so silent corruption (bad disk, partial
+  rsync) is detected at load time instead of surfacing as a garbled model.
+
+Files written by older releases (header carrying the model object inline,
+no checksum) still load.
 
 Security note: as with any pickle-based format, only load model files you
 produced or trust.
@@ -11,38 +23,104 @@ produced or trust.
 
 from __future__ import annotations
 
+import os
 import pickle
+import tempfile
 import warnings
+import zlib
 from pathlib import Path
 
-__all__ = ["save_model", "load_model"]
+from repro.resilience.faults import fault_point
+
+__all__ = ["save_model", "load_model", "atomic_write_bytes"]
 
 _MAGIC = "repro-model-v1"
 
 
-def save_model(model, path: str | Path) -> Path:
-    """Serialize a (fitted or unfitted) estimator to ``path``."""
+def atomic_write_bytes(path: str | Path, data: bytes, *, fsync: bool = True) -> Path:
+    """Write ``data`` to ``path`` atomically (tmp file + fsync + replace).
+
+    The temporary file lives in the destination directory so the final
+    ``os.replace`` is a same-filesystem rename — atomic on POSIX.  With
+    ``fsync=True`` (default) the payload is flushed to disk before the
+    rename and the directory entry after it, so the write survives power
+    loss, not just process death.  A crash mid-write leaves at most a
+    ``<name>.*.tmp`` file, which every reader in this package ignores.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            half = len(data) // 2
+            handle.write(data[:half])
+            fault_point("persist.mid_write")
+            handle.write(data[half:])
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        fault_point("persist.before_replace")
+        os.replace(tmp, path)
+        fault_point("persist.after_replace")
+        if fsync:
+            _fsync_dir(path.parent)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return path
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory entry (rename durability); best-effort."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - e.g. some network filesystems
+        pass
+    finally:
+        os.close(fd)
+
+
+def save_model(
+    model, path: str | Path, *, checksum: bool = True, fsync: bool = True
+) -> Path:
+    """Serialize a (fitted or unfitted) estimator to ``path`` atomically.
+
+    With ``checksum=True`` (default) a CRC32 over the pickled model bytes
+    is stored in the header and verified by :func:`load_model`.  The write
+    is atomic either way: a crash mid-save leaves the previous file (if
+    any) intact.
+    """
     import repro
 
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
+    model_pickle = pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
     payload = {
         "magic": _MAGIC,
         "repro_version": repro.__version__,
         "model_class": type(model).__name__,
-        "model": model,
+        "crc32": zlib.crc32(model_pickle) if checksum else None,
+        "model_pickle": model_pickle,
     }
-    with path.open("wb") as handle:
-        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-    return path
+    data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    return atomic_write_bytes(path, data, fsync=fsync)
 
 
-def load_model(path: str | Path):
+def load_model(path: str | Path, *, verify_checksum: bool = True):
     """Load an estimator saved by :func:`save_model`.
 
     Raises ``FileNotFoundError`` (with the resolved path) for missing
-    files, ``ValueError`` for files that are not repro model archives;
-    warns (but proceeds) when the saving library version differs.
+    files, ``ValueError`` for files that are not repro model archives or
+    whose stored CRC32 no longer matches the payload (silent corruption);
+    warns (but proceeds) when the saving library version differs.  Files
+    from releases that stored the model inline without a checksum still
+    load.
     """
     import repro
 
@@ -65,4 +143,19 @@ def load_model(path: str | Path):
             f"{repro.__version__}",
             stacklevel=2,
         )
-    return payload["model"]
+    if "model_pickle" not in payload:
+        return payload["model"]  # legacy (pre-checksum) archive
+    model_pickle = payload["model_pickle"]
+    stored_crc = payload.get("crc32")
+    if verify_checksum and stored_crc is not None:
+        actual = zlib.crc32(model_pickle)
+        if actual != stored_crc:
+            raise ValueError(
+                f"{path} failed its CRC32 check "
+                f"(stored {stored_crc:#010x}, payload {actual:#010x}): "
+                "the archive is corrupt"
+            )
+    try:
+        return pickle.loads(model_pickle)
+    except Exception as exc:
+        raise ValueError(f"{path} has a corrupt model payload: {exc}") from exc
