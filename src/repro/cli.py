@@ -49,6 +49,10 @@ def build_parser() -> argparse.ArgumentParser:
                                          "as npz archives here")
     p_sim.add_argument("--csv-dir", help="export scheduler log + telemetry "
                                          "CSVs here")
+    p_sim.add_argument("--n-jobs", type=int, default=1,
+                       help="worker processes for job generation "
+                            "(-1 = all cores; output is bit-identical "
+                            "to serial)")
 
     p_eval = sub.add_parser("evaluate", help="train and test one baseline")
     add_common(p_eval)
@@ -150,6 +154,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_res.add_argument("--workdir",
                        help="checkpoint/registry directory (default: a "
                             "temporary directory)")
+
+    p_perf = sub.add_parser(
+        "perf-bench",
+        help="time serve/train/infer hot paths against their slow "
+             "reference implementations, gate on bit-identical "
+             "predictions, and write BENCH_*.json baselines",
+    )
+    p_perf.add_argument("--seed", type=int, default=0,
+                        help="bench data seed (default 0)")
+    p_perf.add_argument("--scale", type=float, default=1.0,
+                        help="workload size multiplier (0.01 = CI smoke, "
+                             "1.0 = workstation baseline)")
+    p_perf.add_argument("--repeats", type=int, default=5,
+                        help="timed runs per bench (default 5)")
+    p_perf.add_argument("--warmup", type=int, default=1,
+                        help="untimed warmup runs per bench (default 1)")
+    p_perf.add_argument("--n-jobs", type=int, default=2,
+                        help="worker processes for the parallel variants "
+                             "(default 2)")
+    p_perf.add_argument("--out-dir", default=".",
+                        help="directory for BENCH_serve.json / "
+                             "BENCH_train.json / BENCH_infer.json "
+                             "(default: current directory)")
     return parser
 
 
@@ -163,7 +190,7 @@ def _cmd_simulate(args) -> int:
     from repro.simcluster.nodestate import snapshot_cluster
 
     config = SimulationConfig(seed=args.seed, trials_scale=args.scale)
-    jobs, log = ClusterSimulator(config).generate()
+    jobs, log = ClusterSimulator(config).generate(n_jobs=args.n_jobs)
     labelled = trials_from_jobs(jobs)
     print(f"simulated {len(jobs)} jobs -> {len(labelled)} labelled GPU series")
     print("family totals:", family_totals(labelled))
@@ -357,6 +384,50 @@ def _cmd_resilience_bench(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_perf_bench(args) -> int:
+    from pathlib import Path
+
+    from repro.perf import ParityError, run_perf_suite, write_bench_json
+
+    try:
+        groups = run_perf_suite(
+            scale=args.scale, warmup=args.warmup, repeats=args.repeats,
+            n_jobs=args.n_jobs, seed=args.seed,
+        )
+    except ParityError as exc:
+        print(f"PARITY FAILURE: {exc}", file=sys.stderr)
+        return 1
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for stem, results in groups.items():
+        path = write_bench_json(out_dir / f"BENCH_{stem}.json", results)
+        print(f"# {path}")
+        for result in results:
+            print(f"  {result}")
+
+    def _p50(name: str) -> float:
+        for results in groups.values():
+            for r in results:
+                if r.bench == name:
+                    return r.p50_s
+        raise KeyError(name)
+
+    print("\nspeedups (slow p50 / fast p50):")
+    for label, slow, fast in (
+        ("forest predict", "forest.predict.slow", "forest.predict.flat"),
+        ("boosting margins", "boosting.margins.slow", "boosting.margins.flat"),
+        ("lstm predict", "lstm.predict.grad", "lstm.predict.nograd"),
+        ("batch assembly", "serve.batch.stack", "serve.batch.scratch"),
+        ("datagen", "datagen.serial", f"datagen.parallel.j{args.n_jobs}"),
+    ):
+        try:
+            print(f"  {label:<18s} {_p50(slow) / _p50(fast):6.2f}x")
+        except KeyError:
+            pass
+    print("parity: all fast paths bit-identical to slow references")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -367,6 +438,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve-bench": _cmd_serve_bench,
         "monitor-bench": _cmd_monitor_bench,
         "resilience-bench": _cmd_resilience_bench,
+        "perf-bench": _cmd_perf_bench,
     }
     return handlers[args.command](args)
 

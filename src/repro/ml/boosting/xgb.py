@@ -14,6 +14,7 @@ import numpy as np
 from repro.ml.base import BaseEstimator, ClassifierMixin
 from repro.ml.boosting.gbtree import BoostingTree
 from repro.ml.boosting.losses import log_loss, softmax_cross_entropy_grad_hess, softmax_proba
+from repro.ml.tree.flat import FlatForest
 from repro.utils.rng import spawn_generators
 from repro.utils.validation import check_2d, check_labels
 
@@ -146,15 +147,39 @@ class GradientBoostingClassifier(BaseEstimator, ClassifierMixin):
             self.trees_ = self.trees_[: best_round + 1]
             self.best_iteration_ = best_round
         self.n_features_in_ = X.shape[1]
+        self._flat_ = None          # rebuilt lazily on first predict
         return self
 
-    def _margins(self, X: np.ndarray, n_rounds: int | None = None) -> np.ndarray:
+    def __getstate__(self):
+        # Derived flat-node cache; rebuild lazily after unpickling.
+        state = self.__dict__.copy()
+        state.pop("_flat_", None)
+        return state
+
+    def _flat(self) -> FlatForest:
+        """Flattened node arrays over all rounds' trees, round-major:
+        tree index ``rnd * k + c`` is round ``rnd``, class ``c``."""
+        flat = getattr(self, "_flat_", None)
+        if flat is None:
+            flat = FlatForest.from_trees(
+                [tree for round_trees in self.trees_ for tree in round_trees]
+            )
+            self._flat_ = flat
+        return flat
+
+    def _check_predict_input(self, X) -> np.ndarray:
         self._check_fitted("trees_")
         X = check_2d(X)
         if X.shape[1] != self.n_features_in_:
             raise ValueError(
                 f"X has {X.shape[1]} features; model fitted on {self.n_features_in_}"
             )
+        return X
+
+    def _margins_slow(self, X: np.ndarray, n_rounds: int | None = None) -> np.ndarray:
+        """Legacy per-tree margin loop (reference for the perf-bench
+        bit-identity gate)."""
+        X = self._check_predict_input(X)
         k = self.classes_.size
         rounds = self.trees_ if n_rounds is None else self.trees_[:n_rounds]
         margins = np.zeros((X.shape[0], k))
@@ -163,29 +188,61 @@ class GradientBoostingClassifier(BaseEstimator, ClassifierMixin):
                 margins[:, c] += self.learning_rate * tree.predict(X)
         return margins
 
-    def predict_proba(self, X, n_rounds: int | None = None) -> np.ndarray:
+    def _margins(
+        self,
+        X: np.ndarray,
+        n_rounds: int | None = None,
+        n_jobs: int | None = 1,
+    ) -> np.ndarray:
+        X = self._check_predict_input(X)
+        k = self.classes_.size
+        rounds = len(self.trees_) if n_rounds is None else min(n_rounds, len(self.trees_))
+        flat = self._flat()
+        leaves = flat.leaf_indices(X, n_jobs=n_jobs)
+        value = flat.value_
+        lr = self.learning_rate
+        margins = np.zeros((X.shape[0], k))
+        # Accumulate in the legacy (round, class) order: bit-identical to
+        # the per-tree loop at any n_jobs.
+        for rnd in range(rounds):
+            for c in range(len(self.trees_[rnd])):
+                margins[:, c] += lr * value[leaves[rnd * k + c]]
+        return margins
+
+    def predict_proba(
+        self, X, n_rounds: int | None = None, n_jobs: int | None = 1
+    ) -> np.ndarray:
         """Per-class probability estimates for X."""
-        return softmax_proba(self._margins(X, n_rounds))
+        return softmax_proba(self._margins(X, n_rounds, n_jobs=n_jobs))
 
-    def predict(self, X, n_rounds: int | None = None) -> np.ndarray:
+    def predict(
+        self, X, n_rounds: int | None = None, n_jobs: int | None = 1
+    ) -> np.ndarray:
         """Predict class labels for X."""
-        return self.classes_[np.argmax(self._margins(X, n_rounds), axis=1)]
+        return self.classes_[
+            np.argmax(self._margins(X, n_rounds, n_jobs=n_jobs), axis=1)
+        ]
 
-    def staged_accuracy(self, X, y) -> np.ndarray:
+    def staged_accuracy(self, X, y, n_jobs: int | None = 1) -> np.ndarray:
         """Test accuracy after each boosting round (plateau curves).
 
-        Computes all rounds in one pass over the trees.
+        All trees are traversed jointly once; the per-round loop only
+        accumulates leaf weights and scores.
         """
         self._check_fitted("trees_")
         X = check_2d(X)
         y = check_labels(y, n_samples=X.shape[0])
         y_idx = np.searchsorted(self.classes_, y)
         k = self.classes_.size
+        flat = self._flat()
+        leaves = flat.leaf_indices(X, n_jobs=n_jobs)
+        value = flat.value_
+        lr = self.learning_rate
         margins = np.zeros((X.shape[0], k))
         out = np.empty(len(self.trees_))
         for r, round_trees in enumerate(self.trees_):
-            for c, tree in enumerate(round_trees):
-                margins[:, c] += self.learning_rate * tree.predict(X)
+            for c in range(len(round_trees)):
+                margins[:, c] += lr * value[leaves[r * k + c]]
             out[r] = float(np.mean(np.argmax(margins, axis=1) == y_idx))
         return out
 

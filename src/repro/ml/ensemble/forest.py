@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.ml.base import BaseEstimator, ClassifierMixin
 from repro.ml.tree import DecisionTreeClassifier
+from repro.ml.tree.flat import FlatForest
 from repro.utils.rng import spawn_generators
 from repro.utils.validation import check_2d, check_labels
 
@@ -84,11 +85,18 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
             if self.oob_score and self.bootstrap:
                 in_bag = np.zeros(n, dtype=bool)
                 in_bag[sample] = True
-                oob = ~in_bag
-                if oob.any():
-                    proba = self._expand_proba(tree, X[oob], k)
-                    oob_proba[oob] += proba
-                    oob_counts[oob] += 1
+                rows = np.flatnonzero(~in_bag)
+                if rows.size:
+                    # Accumulate straight into the OOB buffer — no per-tree
+                    # zeros, and no class remap when the bootstrap saw all
+                    # classes (the common case).
+                    proba = tree.predict_proba(X[rows])
+                    if tree.classes_.size == k:
+                        oob_proba[rows] += proba
+                    else:
+                        cols = np.searchsorted(self.classes_, tree.classes_)
+                        oob_proba[rows[:, None], cols[None, :]] += proba
+                    oob_counts[rows] += 1
 
         if self.oob_score and self.bootstrap:
             seen = oob_counts > 0
@@ -98,7 +106,23 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
             else:
                 self.oob_score_ = float("nan")
         self.n_features_in_ = X.shape[1]
+        self._flat_ = None          # rebuilt lazily on first predict
         return self
+
+    def __getstate__(self):
+        # The flat node cache is derived state and roughly doubles the
+        # pickled payload; rebuild it lazily after unpickling instead.
+        state = self.__dict__.copy()
+        state.pop("_flat_", None)
+        return state
+
+    def _flat(self) -> FlatForest:
+        """Flattened node arrays over all trees (built once per fit)."""
+        flat = getattr(self, "_flat_", None)
+        if flat is None:
+            flat = FlatForest.from_trees(self.estimators_, classes=self.classes_)
+            self._flat_ = flat
+        return flat
 
     def _expand_proba(
         self, tree: DecisionTreeClassifier, X: np.ndarray, k: int
@@ -110,8 +134,12 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
         proba[:, cols] = tree.predict_proba(X)
         return proba
 
-    def predict_proba(self, X) -> np.ndarray:
-        """Per-class probability estimates for X."""
+    def _predict_proba_slow(self, X) -> np.ndarray:
+        """Legacy per-tree prediction loop.
+
+        Kept as the reference path: ``repro perf-bench`` gates the
+        vectorized path on bit-identity against this implementation.
+        """
         self._check_fitted("estimators_")
         X = check_2d(X)
         k = self.classes_.size
@@ -120,9 +148,33 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
             acc += self._expand_proba(tree, X, k)
         return acc / len(self.estimators_)
 
-    def predict(self, X) -> np.ndarray:
+    def predict_proba(self, X, n_jobs: int | None = 1) -> np.ndarray:
+        """Per-class probability estimates for X.
+
+        All trees are traversed jointly over the flattened node arrays
+        (optionally tree-parallel via ``n_jobs``); per-tree distributions
+        are then accumulated in the legacy tree order, so the result is
+        bit-identical to :meth:`_predict_proba_slow` at any ``n_jobs``.
+        """
+        self._check_fitted("estimators_")
+        X = check_2d(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features; forest fitted on "
+                f"{self.n_features_in_}"
+            )
+        flat = self._flat()
+        leaves = flat.leaf_indices(X, n_jobs=n_jobs)
+        acc = np.zeros((X.shape[0], self.classes_.size))
+        value = flat.value_
+        for t in range(flat.n_trees):
+            acc += value[leaves[t]]
+        acc /= flat.n_trees
+        return acc
+
+    def predict(self, X, n_jobs: int | None = 1) -> np.ndarray:
         """Predict class labels for X."""
-        return self.classes_[np.argmax(self.predict_proba(X), axis=1)]
+        return self.classes_[np.argmax(self.predict_proba(X, n_jobs=n_jobs), axis=1)]
 
     @property
     def feature_importances_(self) -> np.ndarray:

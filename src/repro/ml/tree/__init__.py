@@ -1,5 +1,6 @@
 """CART decision trees (the base learner for the random forest)."""
 
 from repro.ml.tree.decision_tree import DecisionTreeClassifier
+from repro.ml.tree.flat import FlatForest
 
-__all__ = ["DecisionTreeClassifier"]
+__all__ = ["DecisionTreeClassifier", "FlatForest"]

@@ -80,10 +80,11 @@ class ConvLSTMClassifier(Module):
         from repro.nn.tensor import no_grad
 
         self.eval()
-        preds = []
+        preds = np.empty(X.shape[0], dtype=np.int64)
         with no_grad():
             for start in range(0, X.shape[0], batch_size):
                 out = self(Tensor(np.asarray(X[start : start + batch_size],
                                              dtype=np.float32)))
-                preds.append(np.argmax(out.data, axis=1))
-        return np.concatenate(preds)
+                preds[start:start + out.data.shape[0]] = np.argmax(out.data,
+                                                                   axis=1)
+        return preds

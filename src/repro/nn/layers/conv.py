@@ -9,6 +9,11 @@ with ``sliding_window_view`` (zero-copy) and contracts them with one
 einsum/GEMM; the backward is hand-derived (see
 :class:`repro.nn.tensor.Tensor.from_op`), avoiding hundreds of small graph
 nodes per sequence.
+
+Under :class:`~repro.nn.tensor.no_grad` both forwards take a fast path:
+no backward closure is built and no forward state (input windows, argmax
+indices, offsets) is retained, so nothing outlives the call but the output
+itself.  Fast-path outputs are bit-identical to the training forward.
 """
 
 from __future__ import annotations
@@ -18,7 +23,7 @@ from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.nn.init import kaiming_uniform, uniform_fan_in
 from repro.nn.module import Module, Parameter
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, is_grad_enabled
 from repro.utils.rng import as_generator
 
 __all__ = ["Conv1d", "MaxPool1d"]
@@ -98,6 +103,13 @@ class Conv1d(Module):
         # (N, T, C) -> windows (N, T', C, K), a strided view (no copy).
         windows = sliding_window_view(x_data, K, axis=1)[:, ::stride]
         out = np.einsum("ntck,ock->nto", windows, w.data, optimize=True)
+        if not is_grad_enabled():
+            # Inference fast path: same contraction, but no backward
+            # closure and no retained windows/offsets — in-place bias add,
+            # only the output survives the call.
+            if b is not None:
+                out += b.data
+            return Tensor(np.ascontiguousarray(out, dtype=x.dtype))
         if b is not None:
             out = out + b.data
         out = np.ascontiguousarray(out, dtype=x.dtype)
@@ -143,6 +155,12 @@ class MaxPool1d(Module):
             raise ValueError(f"expected (N, T, C), got {x.shape}")
         K, stride = self.kernel_size, self.stride
         windows = sliding_window_view(x.data, K, axis=1)[:, ::stride]  # (N,T',C,K)
+        if not is_grad_enabled():
+            # Inference fast path: plain max — same elements the argmax
+            # gather selects — with no argmax cache or backward closure.
+            return Tensor(
+                np.ascontiguousarray(windows.max(axis=3), dtype=x.dtype)
+            )
         arg = windows.argmax(axis=3)  # (N, T', C)
         out = np.take_along_axis(windows, arg[..., None], axis=3)[..., 0]
         out = np.ascontiguousarray(out, dtype=x.dtype)

@@ -1,10 +1,18 @@
-"""LSTM layers with fused hand-derived backward.
+"""LSTM layers with fused hand-derived backward and a grad-aware fast path.
 
 A per-op autograd LSTM would create hundreds of graph nodes per timestep;
 here the whole sequence is one graph node.  The forward caches gate
 activations per step; the backward runs the standard BPTT recurrences, with
 the weight-gradient contractions hoisted *out* of the time loop into three
 large GEMMs (the dominant cost becomes BLAS, per the optimization guide).
+
+Under :class:`~repro.nn.tensor.no_grad` the forward takes an inference
+fast path instead: no ``(T, N, 4H)`` gate/cell caches, no backward closure,
+and all per-step temporaries live in per-layer scratch buffers that are
+reused across calls of the same ``(N, T)`` shape (steady-state serving
+batches hit the same shape every flush).  The fast path performs the exact
+same floating-point operations in the same order as the training forward,
+so its outputs are bit-identical — pinned by the parity test suite.
 
 Gate order follows PyTorch: input ``i``, forget ``f``, cell ``g``,
 output ``o``::
@@ -19,14 +27,24 @@ import numpy as np
 
 from repro.nn.init import orthogonal, uniform_fan_in
 from repro.nn.module import Module, Parameter
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, is_grad_enabled
 from repro.utils.rng import as_generator
 
 __all__ = ["LSTM", "BiLSTM"]
 
 
-def _sigmoid(x: np.ndarray) -> np.ndarray:
-    return 1.0 / (1.0 + np.exp(-x))
+def _sigmoid(x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Numerically stable logistic sigmoid (piecewise ``exp`` form).
+
+    ``exp`` is only ever taken of ``-|x|``, so large-magnitude
+    pre-activations (|x| ~ 100 and beyond) cannot overflow: for ``x >= 0``
+    this is the textbook ``1/(1+exp(-x))``; for ``x < 0`` it is the
+    algebraically equal ``exp(x)/(1+exp(x))``.
+    """
+    e = np.exp(-np.abs(x))
+    num = np.where(x >= 0.0, 1.0, e)
+    np.add(e, 1.0, out=e)
+    return np.divide(num, e, out=num if out is None else out)
 
 
 class LSTM(Module):
@@ -59,11 +77,79 @@ class LSTM(Module):
         bias = np.zeros(4 * H, dtype=np.float32)
         bias[H : 2 * H] = 1.0  # forget-gate bias 1: standard trick
         self.bias = Parameter(bias, name="bias")
+        self._infer_scratch: dict | None = None
+
+    def _scratch_for(self, N: int, T: int) -> dict:
+        """Reusable inference buffers for a ``(N, T)`` input shape.
+
+        Rebuilt only when the shape changes; a steady stream of same-shape
+        predict batches allocates nothing after the first call.
+        """
+        s = self._infer_scratch
+        if s is None or s["shape"] != (N, T):
+            H = self.hidden_size
+            f32 = np.float32
+            s = {
+                "shape": (N, T),
+                "zx": np.empty((N, T, 4 * H), dtype=f32),
+                "zh": np.empty((N, 4 * H), dtype=f32),
+                "z": np.empty((N, 4 * H), dtype=f32),
+                "i": np.empty((N, H), dtype=f32),
+                "f": np.empty((N, H), dtype=f32),
+                "g": np.empty((N, H), dtype=f32),
+                "o": np.empty((N, H), dtype=f32),
+                "ig": np.empty((N, H), dtype=f32),
+                "tc": np.empty((N, H), dtype=f32),
+                "h": np.empty((N, H), dtype=f32),
+                "c": np.empty((N, H), dtype=f32),
+            }
+            self._infer_scratch = s
+        return s
+
+    def _forward_inference(self, x_data: np.ndarray, reverse: bool) -> np.ndarray:
+        """No-grad forward: same float ops as the training path, no caches.
+
+        Skips the BPTT bookkeeping entirely (``gates``/``cells``/``tanh_c``/
+        ``h_prev_all`` and the backward closure) and runs every per-step
+        temporary in preallocated scratch.  Only the returned ``(N, T, H)``
+        output is freshly allocated — it outlives the call.
+        """
+        N, T, _D = x_data.shape
+        H = self.hidden_size
+        s = self._scratch_for(N, T)
+        xs = x_data[:, ::-1] if reverse else x_data
+        zx = s["zx"]
+        np.matmul(xs.reshape(N * T, -1), self.w_ih.data,
+                  out=zx.reshape(N * T, 4 * H))
+        zx += self.bias.data
+
+        h, c = s["h"], s["c"]
+        h[:] = 0.0
+        c[:] = 0.0
+        zh, z, ig, tc = s["zh"], s["z"], s["ig"], s["tc"]
+        w_hh = self.w_hh.data
+        out = np.empty((N, T, H), dtype=np.float32)
+        for t in range(T):
+            np.matmul(h, w_hh, out=zh)
+            np.add(zx[:, t], zh, out=z)
+            i = _sigmoid(z[:, :H], out=s["i"])
+            f = _sigmoid(z[:, H : 2 * H], out=s["f"])
+            g = np.tanh(z[:, 2 * H : 3 * H], out=s["g"])
+            o = _sigmoid(z[:, 3 * H :], out=s["o"])
+            np.multiply(i, g, out=ig)
+            np.multiply(f, c, out=c)
+            np.add(c, ig, out=c)
+            np.tanh(c, out=tc)
+            np.multiply(o, tc, out=h)
+            out[:, T - 1 - t if reverse else t] = h
+        return out
 
     def forward(self, x: Tensor, reverse: bool = False) -> Tensor:
         """Compute the layer's output for the given input."""
         if x.ndim != 3 or x.shape[2] != self.input_size:
             raise ValueError(f"expected (N, T, {self.input_size}), got {x.shape}")
+        if not is_grad_enabled():
+            return Tensor(self._forward_inference(x.data, reverse))
         N, T, _D = x.shape
         H = self.hidden_size
         w_ih, w_hh, bias = self.w_ih, self.w_hh, self.bias
@@ -142,6 +228,11 @@ class LSTM(Module):
                 x._accum(dxs[:, ::-1] if reverse else dxs)
 
         return Tensor.from_op(out_final, (x, w_ih, w_hh, bias), backward)
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_infer_scratch"] = None  # don't persist inference buffers
+        return state
 
     def last_hidden(self, output: Tensor, reverse: bool = False) -> Tensor:
         """Final hidden state from a full-sequence output.

@@ -16,6 +16,7 @@ memory traffic (the cache-effects guidance).
 
 from __future__ import annotations
 
+import functools
 from typing import Callable, Iterable
 
 import numpy as np
@@ -26,7 +27,13 @@ _GRAD_ENABLED = True
 
 
 class no_grad:
-    """Context manager disabling graph construction (inference mode)."""
+    """Context manager disabling graph construction (inference mode).
+
+    Also usable as a decorator: ``@no_grad()`` wraps a function so its body
+    runs with graph construction off.  Fused layers additionally branch on
+    :func:`is_grad_enabled` to take allocation-free fast paths, so wrapping
+    a predict loop in ``no_grad`` is what unlocks the inference fast path.
+    """
 
     def __enter__(self):
         global _GRAD_ENABLED
@@ -37,6 +44,14 @@ class no_grad:
     def __exit__(self, *exc):
         global _GRAD_ENABLED
         _GRAD_ENABLED = self._prev
+
+    def __call__(self, fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with no_grad():
+                return fn(*args, **kwargs)
+
+        return wrapper
 
 
 def is_grad_enabled() -> bool:
@@ -98,9 +113,11 @@ class Tensor:
         parent requires grad, a detached tensor is returned and ``backward``
         is dropped.
         """
+        if not _GRAD_ENABLED:      # inference: no graph, drop backward early
+            return Tensor(data, dtype=data.dtype)
         parents = tuple(parents)
         out = Tensor(data, dtype=data.dtype)
-        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+        if any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = parents
             out._backward = backward

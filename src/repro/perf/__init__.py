@@ -1,0 +1,36 @@
+"""Performance regression harness (``repro perf-bench``).
+
+Times the repo's serving, training, and inference hot paths against the
+slow reference implementations they replaced, gates on bit-identical
+predictions, and writes the committed ``BENCH_*.json`` baselines.
+"""
+
+from repro.perf.benches import (
+    bench_boosting,
+    bench_datagen,
+    bench_forest,
+    bench_lstm,
+    bench_serve,
+    run_perf_suite,
+)
+from repro.perf.harness import (
+    BenchResult,
+    ParityError,
+    measure,
+    rss_mb,
+    write_bench_json,
+)
+
+__all__ = [
+    "BenchResult",
+    "ParityError",
+    "measure",
+    "rss_mb",
+    "write_bench_json",
+    "bench_forest",
+    "bench_boosting",
+    "bench_lstm",
+    "bench_datagen",
+    "bench_serve",
+    "run_perf_suite",
+]

@@ -1,0 +1,325 @@
+"""The ``repro perf-bench`` suite: serve, train, and inference benches.
+
+Every optimisation this repo ships pairs a fast path with the slow
+reference it replaced (``RandomForestClassifier._predict_proba_slow``,
+``GradientBoostingClassifier._margins_slow``, the grad-mode LSTM forward,
+``np.stack`` batch assembly, serial dataset generation).  Each bench here
+times both sides *and* gates on bit-identity — a fast path that drifts
+from its reference raises :class:`~repro.perf.harness.ParityError`, and
+the CLI exits nonzero.  The committed ``BENCH_*.json`` files are the
+measured baselines; regressions show up as JSON diffs.
+
+Workloads are synthetic but shaped like the challenge: 26-class
+Gaussian-blob features for the trees, ``(N, T, 7)`` float32 windows for
+the nets, and the cluster simulator itself for datagen.  ``scale``
+multiplies every size, so ``--scale 0.01`` is a CI smoke and
+``--scale 1`` a workstation baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perf.harness import BenchResult, ParityError, measure
+
+__all__ = [
+    "bench_forest",
+    "bench_boosting",
+    "bench_lstm",
+    "bench_datagen",
+    "bench_serve",
+    "run_perf_suite",
+]
+
+
+def _require(condition: bool, what: str) -> None:
+    if not condition:
+        raise ParityError(f"fast path diverged from slow path: {what}")
+
+
+def _blobs(n: int, d: int, k: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    """Gaussian class blobs — enough structure to grow real trees."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=3.0, size=(k, d))
+    y = rng.integers(0, k, size=n)
+    X = centers[y] + rng.normal(size=(n, d))
+    return X, y
+
+
+# ----------------------------------------------------------------------
+# Tree-ensemble inference
+# ----------------------------------------------------------------------
+def bench_forest(
+    scale: float = 1.0, *, warmup: int = 1, repeats: int = 5,
+    n_jobs: int = 2, seed: int = 0,
+) -> list[BenchResult]:
+    """Forest predict: legacy per-tree loop vs flat joint traversal."""
+    from repro.ml.ensemble.forest import RandomForestClassifier
+
+    n_train = max(200, int(2000 * scale))
+    n_test = max(500, int(20000 * scale))
+    n_trees = max(10, int(50 * min(scale * 2, 1.0)))
+    d, k = 28, 26
+    X, y = _blobs(n_train, d, k, seed)
+    Xt, _ = _blobs(n_test, d, k, seed + 1)
+    rf = RandomForestClassifier(
+        n_estimators=n_trees, max_depth=12, random_state=seed
+    ).fit(X, y)
+
+    _require(
+        np.array_equal(rf._predict_proba_slow(Xt), rf.predict_proba(Xt)),
+        "forest flat predict_proba",
+    )
+    _require(
+        np.array_equal(rf.predict_proba(Xt), rf.predict_proba(Xt, n_jobs=n_jobs)),
+        f"forest predict_proba at n_jobs={n_jobs}",
+    )
+    cfg = {"n_train": n_train, "n_test": n_test, "n_trees": n_trees,
+           "d": d, "k": k}
+    out = [
+        measure(lambda: rf._predict_proba_slow(Xt),
+                bench="forest.predict.slow", n_samples=n_test,
+                config=cfg, warmup=warmup, repeats=repeats),
+        measure(lambda: rf.predict_proba(Xt),
+                bench="forest.predict.flat", n_samples=n_test,
+                config=cfg, warmup=warmup, repeats=repeats),
+    ]
+    if n_jobs > 1:
+        out.append(measure(
+            lambda: rf.predict_proba(Xt, n_jobs=n_jobs),
+            bench=f"forest.predict.flat.j{n_jobs}", n_samples=n_test,
+            config={**cfg, "n_jobs": n_jobs}, warmup=warmup, repeats=repeats,
+        ))
+    return out
+
+
+def bench_boosting(
+    scale: float = 1.0, *, warmup: int = 1, repeats: int = 5, seed: int = 0,
+) -> list[BenchResult]:
+    """Boosted-tree margins: per-(round, class) loop vs flat traversal."""
+    from repro.ml.boosting.xgb import GradientBoostingClassifier
+
+    n_train = max(200, int(1500 * scale))
+    n_test = max(400, int(10000 * scale))
+    rounds = max(4, int(12 * min(scale * 2, 1.0)))
+    d, k = 20, 8
+    X, y = _blobs(n_train, d, k, seed + 2)
+    Xt, _ = _blobs(n_test, d, k, seed + 3)
+    gb = GradientBoostingClassifier(
+        n_estimators=rounds, max_depth=4, random_state=seed
+    ).fit(X, y)
+
+    _require(np.array_equal(gb._margins_slow(Xt), gb._margins(Xt)),
+             "boosting flat margins")
+    cfg = {"n_train": n_train, "n_test": n_test, "rounds": rounds,
+           "d": d, "k": k}
+    return [
+        measure(lambda: gb._margins_slow(Xt),
+                bench="boosting.margins.slow", n_samples=n_test,
+                config=cfg, warmup=warmup, repeats=repeats),
+        measure(lambda: gb._margins(Xt),
+                bench="boosting.margins.flat", n_samples=n_test,
+                config=cfg, warmup=warmup, repeats=repeats),
+    ]
+
+
+# ----------------------------------------------------------------------
+# LSTM train + predict
+# ----------------------------------------------------------------------
+def bench_lstm(
+    scale: float = 1.0, *, warmup: int = 1, repeats: int = 3, seed: int = 0,
+) -> list[BenchResult]:
+    """LSTM one-epoch training plus predict with/without the no_grad path."""
+    from repro.models import LSTMClassifier
+    from repro.nn import Adam, NLLLoss, Tensor, Trainer
+    from repro.nn.tensor import is_grad_enabled
+
+    assert is_grad_enabled()
+    n = max(16, int(256 * scale))
+    t, sensors, k, hidden = 96, 7, 26, 32
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, t, sensors)).astype(np.float32)
+    y = rng.integers(0, k, size=n)
+    Xv, yv = X[: max(8, n // 8)], y[: max(8, n // 8)]
+    cfg = {"n": n, "t": t, "sensors": sensors, "hidden": hidden, "k": k}
+
+    def make_model() -> LSTMClassifier:
+        return LSTMClassifier(n_sensors=sensors, seq_len=t, n_classes=k,
+                              hidden_size=hidden, seed=seed)
+
+    def train_epoch():
+        model = make_model()
+        trainer = Trainer(model, Adam(model.parameters(), lr=1e-3), NLLLoss(),
+                          batch_size=32, max_epochs=1, patience=10,
+                          shuffle_rng=seed, verbose=False)
+        trainer.fit(X, y, Xv, yv)
+
+    model = make_model()
+    model.eval()
+
+    def predict_grad() -> np.ndarray:
+        # Reference: the same forward with autograd bookkeeping on.
+        outs = [model(Tensor(X[s:s + 64])).data for s in range(0, n, 64)]
+        return np.concatenate(outs)
+
+    def predict_nograd() -> np.ndarray:
+        from repro.nn.tensor import no_grad
+        with no_grad():
+            outs = [model(Tensor(X[s:s + 64])).data for s in range(0, n, 64)]
+        return np.concatenate(outs)
+
+    _require(np.array_equal(predict_grad(), predict_nograd()),
+             "LSTM no_grad forward")
+    return [
+        measure(train_epoch, bench="lstm.train.epoch", n_samples=n,
+                config=cfg, warmup=min(warmup, 1), repeats=repeats),
+        measure(predict_grad, bench="lstm.predict.grad", n_samples=n,
+                config=cfg, warmup=warmup, repeats=repeats),
+        measure(predict_nograd, bench="lstm.predict.nograd", n_samples=n,
+                config=cfg, warmup=warmup, repeats=repeats),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Dataset generation
+# ----------------------------------------------------------------------
+def bench_datagen(
+    scale: float = 1.0, *, warmup: int = 0, repeats: int = 3,
+    n_jobs: int = 2, seed: int = 2022,
+) -> list[BenchResult]:
+    """Cluster-simulator release generation, serial vs process-parallel."""
+    from repro.simcluster.cluster import ClusterSimulator, SimulationConfig
+
+    cfg = SimulationConfig(seed=seed, trials_scale=max(0.005, 0.03 * scale))
+    sim = ClusterSimulator(cfg)
+    n_gen = len(sim.job_plan())
+
+    s_jobs, _ = sim.generate()
+    p_jobs, _ = sim.generate(n_jobs=n_jobs)
+    same = len(s_jobs) == len(p_jobs) and all(
+        a.record == b.record
+        and all(np.array_equal(ga.data, gb.data)
+                for ga, gb in zip(a.gpu_series, b.gpu_series))
+        for a, b in zip(s_jobs, p_jobs)
+    )
+    _require(same, f"parallel datagen at n_jobs={n_jobs}")
+    del s_jobs, p_jobs
+
+    bench_cfg = {"trials_scale": cfg.trials_scale, "jobs": n_gen}
+    return [
+        measure(lambda: sim.generate(), bench="datagen.serial",
+                n_samples=n_gen, config=bench_cfg,
+                warmup=warmup, repeats=repeats),
+        measure(lambda: sim.generate(n_jobs=n_jobs),
+                bench=f"datagen.parallel.j{n_jobs}", n_samples=n_gen,
+                config={**bench_cfg, "n_jobs": n_jobs},
+                warmup=warmup, repeats=repeats),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Serving
+# ----------------------------------------------------------------------
+class _MeanSignModel:
+    """Near-free deterministic model so serve benches time the *serving*
+    layer (ring writes, snapshots, batch assembly), not the classifier."""
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Label 1 where the window's grand mean is positive."""
+        return (X.mean(axis=(1, 2)) > 0.0).astype(np.int64)
+
+
+def bench_serve(
+    scale: float = 1.0, *, warmup: int = 1, repeats: int = 3, seed: int = 0,
+) -> list[BenchResult]:
+    """Multi-session streaming replay through sessions + micro-batcher.
+
+    Parity gates: every emitted window must equal the corresponding raw
+    slice of the source stream (ring correctness), and scratch-assembled
+    batch predictions must equal predictions on an ``np.stack`` copy.
+    """
+    from repro.serve.batcher import MicroBatcher
+    from repro.serve.session import StreamSession
+    from repro.simcluster.sensors import N_GPU_SENSORS
+
+    n_sessions = max(8, int(64 * scale))
+    window, hop, rate = 540, 90, 90
+    samples_each = window + 4 * hop
+    rng = np.random.default_rng(seed)
+    streams = rng.normal(size=(n_sessions, samples_each, N_GPU_SENSORS)) \
+                 .astype(np.float32)
+    model = _MeanSignModel()
+
+    def replay() -> tuple[int, list]:
+        sessions = [StreamSession(session_id=i, window=window, hop=hop)
+                    for i in range(n_sessions)]
+        batcher = MicroBatcher(model, max_batch=32, max_delay_s=0.0)
+        done = []
+        for start in range(0, samples_each, rate):
+            for i, sess in enumerate(sessions):
+                for req in sess.push(streams[i, start:start + rate]):
+                    done.extend(batcher.submit(req))
+        done.extend(batcher.drain())
+        return n_sessions * samples_each, done
+
+    # Parity 1: ring snapshots == raw stream slices, for every emission.
+    _, completions = replay()
+    for comp in completions:
+        sid, end = comp.request.session_id, comp.request.sample_index
+        expected = streams[sid, end - window:end]
+        _require(np.array_equal(comp.request.window, expected),
+                 f"ring window for session {sid} @ {end}")
+    # Parity 2: scratch-assembled batches == np.stack batches.
+    windows = [c.request.window for c in completions[:32]]
+    batcher = MicroBatcher(model, max_batch=32)
+    _require(
+        np.array_equal(model.predict(batcher._assemble(windows)),
+                       model.predict(np.stack(windows))),
+        "batch scratch assembly",
+    )
+
+    n_pushed = n_sessions * samples_each
+    cfg = {"sessions": n_sessions, "samples_each": samples_each,
+           "window": window, "hop": hop, "max_batch": 32}
+    results = [
+        measure(replay, bench="serve.replay", n_samples=n_pushed,
+                config=cfg, warmup=warmup, repeats=repeats),
+    ]
+
+    # Micro-bench the assembly strategies head-to-head on one batch shape.
+    big = [w for c in completions for w in (c.request.window,)][:32]
+    while len(big) < 32:
+        big.append(big[-1])
+    stack_cfg = {"batch": 32, "window": window, "sensors": N_GPU_SENSORS}
+    results.append(measure(
+        lambda: np.stack(big), bench="serve.batch.stack", n_samples=32,
+        config=stack_cfg, warmup=warmup, repeats=max(repeats, 20)))
+    asm = MicroBatcher(model, max_batch=32)
+    results.append(measure(
+        lambda: asm._assemble(big), bench="serve.batch.scratch", n_samples=32,
+        config=stack_cfg, warmup=warmup, repeats=max(repeats, 20)))
+    return results
+
+
+# ----------------------------------------------------------------------
+def run_perf_suite(
+    scale: float = 1.0, *, warmup: int = 1, repeats: int = 5,
+    n_jobs: int = 2, seed: int = 0,
+) -> dict[str, list[BenchResult]]:
+    """Run every bench; returns results grouped by BENCH file stem.
+
+    Raises :class:`ParityError` if any fast path diverges from its slow
+    reference — the CLI turns that into a nonzero exit.
+    """
+    infer = bench_forest(scale, warmup=warmup, repeats=repeats,
+                         n_jobs=n_jobs, seed=seed)
+    infer += bench_boosting(scale, warmup=warmup, repeats=repeats, seed=seed)
+    lstm = bench_lstm(scale, warmup=warmup, repeats=max(2, repeats // 2),
+                      seed=seed)
+    train = [r for r in lstm if r.bench.startswith("lstm.train")]
+    infer += [r for r in lstm if r.bench.startswith("lstm.predict")]
+    train += bench_datagen(scale, warmup=0, repeats=max(2, repeats // 2),
+                           n_jobs=n_jobs)
+    serve = bench_serve(scale, warmup=warmup, repeats=max(2, repeats // 2),
+                        seed=seed)
+    return {"serve": serve, "train": train, "infer": infer}

@@ -1,0 +1,113 @@
+"""Timing/throughput measurement core for ``repro perf-bench``.
+
+Deliberately tiny: a bench is any zero-argument callable; :func:`measure`
+runs it ``warmup`` times untimed (JIT-free Python still benefits — caches
+warm, lazy imports resolve, scratch buffers allocate), then ``repeats``
+timed runs, and reports the median (p50) and p95 wall-clock seconds, the
+throughput implied by the median, and the max-RSS growth across the timed
+runs.
+
+Results serialize to the committed ``BENCH_*.json`` schema::
+
+    {"bench": ..., "config": {...}, "samples_per_s": ...,
+     "p50_s": ..., "p95_s": ..., "rss_mb": ...}
+
+so regressions diff as JSON.  RSS uses ``getrusage``'s high-water mark:
+it only ever grows, so the delta is "new peak memory this bench forced",
+not instantaneous usage — 0.0 is the common (good) value for benches that
+reuse scratch buffers.
+"""
+
+from __future__ import annotations
+
+import json
+import resource
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["BenchResult", "ParityError", "measure", "write_bench_json", "rss_mb"]
+
+
+class ParityError(AssertionError):
+    """A fast path diverged from its slow reference implementation."""
+
+
+def rss_mb() -> float:
+    """Max resident set size so far, in MiB (Linux reports KiB)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":        # macOS reports bytes
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One bench's measurement in the committed JSON schema."""
+
+    bench: str
+    config: dict = field(default_factory=dict)
+    samples_per_s: float = 0.0
+    p50_s: float = 0.0
+    p95_s: float = 0.0
+    rss_mb: float = 0.0
+
+    def to_dict(self) -> dict:
+        """The result as a plain dict (the BENCH_*.json entry)."""
+        return asdict(self)
+
+    def __str__(self) -> str:
+        return (f"{self.bench:<28s} {self.samples_per_s:12.1f}/s  "
+                f"p50 {self.p50_s * 1e3:9.2f} ms  "
+                f"p95 {self.p95_s * 1e3:9.2f} ms  "
+                f"+{self.rss_mb:.1f} MiB")
+
+
+def measure(
+    fn: Callable[[], object],
+    *,
+    bench: str,
+    n_samples: int,
+    config: dict | None = None,
+    warmup: int = 1,
+    repeats: int = 5,
+) -> BenchResult:
+    """Time ``fn`` and return its :class:`BenchResult`.
+
+    ``n_samples`` is the work per call (rows classified, telemetry
+    samples pushed, jobs generated); throughput is ``n_samples / p50``.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    for _ in range(warmup):
+        fn()
+    rss_before = rss_mb()
+    times = np.empty(repeats)
+    for r in range(repeats):
+        tic = time.perf_counter()
+        fn()
+        times[r] = time.perf_counter() - tic
+    rss_after = rss_mb()
+    p50 = float(np.percentile(times, 50))
+    p95 = float(np.percentile(times, 95))
+    return BenchResult(
+        bench=bench,
+        config=dict(config or {}),
+        samples_per_s=float(n_samples / p50) if p50 > 0 else float("inf"),
+        p50_s=p50,
+        p95_s=p95,
+        rss_mb=max(0.0, rss_after - rss_before),
+    )
+
+
+def write_bench_json(path: str | Path, results: list[BenchResult]) -> Path:
+    """Write one BENCH_*.json file (a JSON array in the schema above)."""
+    path = Path(path)
+    path.write_text(
+        json.dumps([r.to_dict() for r in results], indent=2) + "\n"
+    )
+    return path

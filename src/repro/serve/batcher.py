@@ -75,6 +75,7 @@ class MicroBatcher:
         self.clock = clock
         self.metrics = metrics
         self._queue: list[tuple[WindowRequest, float]] = []
+        self._scratch: np.ndarray | None = None  # (max_batch, window, sensors)
         self.n_predict_calls = 0
         self.n_windows = 0
 
@@ -107,11 +108,29 @@ class MicroBatcher:
         """Windows currently waiting for a batch."""
         return len(self._queue)
 
+    def _assemble(self, windows: list[np.ndarray]) -> np.ndarray:
+        """Copy windows into the reused batch scratch; returns a view.
+
+        One ``(max_batch, window, sensors)`` buffer is allocated on the
+        first flush (and whenever the window geometry changes) and reused
+        for every flush after — ``np.stack`` would allocate a fresh batch
+        tensor per predict call.  The returned view is only valid until
+        the next flush; ``model.predict`` consumes it synchronously and
+        completions carry labels (copies), never views of the scratch.
+        """
+        shape, dtype = windows[0].shape, windows[0].dtype
+        if (self._scratch is None or self._scratch.shape[1:] != shape
+                or self._scratch.dtype != dtype):
+            self._scratch = np.empty((self.max_batch, *shape), dtype=dtype)
+        for i, win in enumerate(windows):
+            self._scratch[i] = win
+        return self._scratch[: len(windows)]
+
     # ------------------------------------------------------------------
     def _flush_batch(self) -> list[BatchCompletion]:
         batch, self._queue = self._queue[: self.max_batch], self._queue[self.max_batch:]
         now = self.clock()
-        stacked = np.stack([req.window for req, _ in batch])
+        stacked = self._assemble([req.window for req, _ in batch])
         tic = time.perf_counter()
         labels = np.asarray(self.model.predict(stacked)).astype(np.int64)
         predict_wall_s = time.perf_counter() - tic

@@ -16,6 +16,14 @@ keeps the exact window/hop/vote semantics but *splits the cycle in two*:
 Run serially — push, predict each returned window, complete — a session
 reproduces the online classifier's emissions bit for bit; that parity is
 pinned by the test suite.
+
+Telemetry is buffered in a contiguous float32 ring (the dtype every model
+in this repo trains on): each row is written twice, at ``pos`` and
+``pos + window``, so the most recent window is *always* one contiguous
+slice of the doubled buffer and a snapshot is a single small memcpy — not
+a ``np.stack`` over hundreds of float64 rows.  Rows are copied in
+per-segment bulk writes between emission points rather than one Python
+iteration per row.
 """
 
 from __future__ import annotations
@@ -42,7 +50,7 @@ class WindowRequest:
     session_id: object          # opaque job/stream key
     seq: int                    # per-session request counter (0-based)
     sample_index: int           # stream position when the window closed
-    window: np.ndarray          # (window, n_sensors) float64 snapshot
+    window: np.ndarray          # (window, n_sensors) contiguous float32 snapshot
     created_s: float = 0.0
 
 
@@ -59,7 +67,9 @@ class StreamSession:
     window: int = 540
     hop: int = 90
     vote_window: int = 5
-    _buffer: deque = field(default=None, repr=False)
+    _ring: np.ndarray = field(default=None, repr=False)
+    _pos: int = field(default=0, repr=False)
+    _fill: int = field(default=0, repr=False)
     _votes: deque = field(default=None, repr=False)
     _since_last: int = field(default=0, repr=False)
     _n_seen: int = field(default=0, repr=False)
@@ -69,10 +79,34 @@ class StreamSession:
     def __post_init__(self):
         if self.window < 1 or self.hop < 1 or self.vote_window < 1:
             raise ValueError("window, hop and vote_window must be >= 1")
-        self._buffer = deque(maxlen=self.window)
+        # Doubled ring: row i lives at slots i % window and i % window +
+        # window, so the last `window` rows are always ring[pos : pos+window].
+        self._ring = np.empty((2 * self.window, N_GPU_SENSORS), dtype=np.float32)
         self._votes = deque(maxlen=self.vote_window)
 
     # ------------------------------------------------------------------
+    def _write_rows(self, rows: np.ndarray) -> None:
+        """Bulk-append rows to the ring (both copies), wrap-aware."""
+        m = rows.shape[0]
+        w = self.window
+        if m >= w:                      # only the last `window` rows survive
+            rows = rows[m - w:]
+            self._pos = (self._pos + (m - w)) % w
+            m = w
+        p = self._pos
+        first = min(w - p, m)
+        self._ring[p:p + first] = rows[:first]
+        self._ring[p + w:p + w + first] = rows[:first]
+        rest = m - first
+        if rest:
+            self._ring[:rest] = rows[first:]
+            self._ring[w:w + rest] = rows[first:]
+        self._pos = (p + m) % w
+
+    def _snapshot(self) -> np.ndarray:
+        """The most recent full window, oldest row first (one memcpy)."""
+        return self._ring[self._pos:self._pos + self.window].copy()
+
     def push(self, samples: np.ndarray, *, now_s: float = 0.0) -> list[WindowRequest]:
         """Buffer new telemetry rows; returns windows due for classification.
 
@@ -80,8 +114,12 @@ class StreamSession:
         when the buffer is full and either ``hop`` new samples arrived
         since the last request or no prediction has ever been produced or
         requested — exactly the online classifier's emission rule.
+
+        Rows are consumed in bulk segments between emission points: the
+        next emission row is computed from counters alone, so no per-row
+        Python work touches the telemetry itself.
         """
-        samples = np.atleast_2d(np.asarray(samples, dtype=np.float64))
+        samples = np.atleast_2d(np.asarray(samples, dtype=np.float32))
         if samples.size == 0:
             return []
         if samples.shape[1] != N_GPU_SENSORS:
@@ -90,20 +128,31 @@ class StreamSession:
                 f"got {samples.shape[1]}"
             )
         out: list[WindowRequest] = []
-        for row in samples:
-            self._buffer.append(row)
-            self._n_seen += 1
-            self._since_last += 1
+        w, hop = self.window, self.hop
+        k = samples.shape[0]
+        consumed = 0
+        while consumed < k:
             never_requested = not self._votes and not self._pending
-            if len(self._buffer) == self.window and (
-                self._since_last >= self.hop or never_requested
-            ):
+            # Rows until the next emission, from counters alone: a window
+            # is cut once the buffer is full AND (`hop` rows arrived since
+            # the last cut, or nothing was ever cut).
+            if never_requested:
+                due = (w - self._fill) if self._fill < w else 1
+            else:
+                due = max(w - self._fill, hop - self._since_last, 1)
+            step = min(due, k - consumed)
+            self._write_rows(samples[consumed:consumed + step])
+            consumed += step
+            self._fill = min(w, self._fill + step)
+            self._n_seen += step
+            self._since_last += step
+            if step == due:
                 out.append(
                     WindowRequest(
                         session_id=self.session_id,
                         seq=self._next_seq,
                         sample_index=self._n_seen,
-                        window=np.stack(self._buffer),
+                        window=self._snapshot(),
                         created_s=now_s,
                     )
                 )
@@ -139,7 +188,8 @@ class StreamSession:
 
     def reset(self) -> None:
         """Clear buffered samples and votes (e.g. when the job restarts)."""
-        self._buffer.clear()
+        self._pos = 0
+        self._fill = 0
         self._votes.clear()
         self._since_last = 0
         self._n_seen = 0
@@ -148,7 +198,7 @@ class StreamSession:
     @property
     def ready(self) -> bool:
         """Whether a full window has been buffered."""
-        return len(self._buffer) == self.window
+        return self._fill == self.window
 
     @property
     def pending(self) -> int:

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.parallel import effective_n_jobs, parallel_map
 from repro.simcluster.architectures import ARCHITECTURES, ArchitectureSpec
 from repro.simcluster.cpu_model import CpuModel, CpuSeries, DEFAULT_CPU_DT_S
 from repro.simcluster.filesystem import DEFAULT_FS_DT_S, FsCounters, FsModel
@@ -173,12 +174,50 @@ class ClusterSimulator:
         return SimulatedJob(record=record, gpu_series=telemetry.gpu_series,
                             cpu_series=cpu, fs_counters=fs)
 
-    def generate(self) -> tuple[list[SimulatedJob], SchedulerLog]:
-        """Generate the whole release serially."""
+    def generate(
+        self, n_jobs: int | None = 1
+    ) -> tuple[list[SimulatedJob], SchedulerLog]:
+        """Generate the whole release.
+
+        With ``n_jobs > 1`` the job plan is fanned out over worker
+        processes via :func:`repro.parallel.parallel_map`.  Every job
+        draws from its own named seed stream (see :meth:`generate_one`),
+        so the release is bit-identical to the serial path at any
+        ``n_jobs`` — pinned by the test suite.
+        """
+        plan = self.job_plan()
+        if effective_n_jobs(n_jobs) > 1 and len(plan) > 1:
+            jobs = parallel_map(_GenerateJobWorker(self.config), plan,
+                                n_jobs=n_jobs)
+        else:
+            jobs = [self.generate_one(job_id, spec) for job_id, spec in plan]
         log = SchedulerLog()
-        jobs: list[SimulatedJob] = []
-        for job_id, spec in self.job_plan():
-            job = self.generate_one(job_id, spec)
-            jobs.append(job)
+        for job in jobs:
             log.append(job.record)
         return jobs, log
+
+
+class _GenerateJobWorker:
+    """Picklable per-job generator for process pools.
+
+    Each worker process rebuilds the simulator lazily from the config
+    (generator state never crosses the process boundary; determinism
+    comes from the per-job named seed streams).
+    """
+
+    def __init__(self, config: SimulationConfig):
+        self.config = config
+        self._sim: ClusterSimulator | None = None
+
+    def __getstate__(self):
+        return {"config": self.config}
+
+    def __setstate__(self, state):
+        self.config = state["config"]
+        self._sim = None
+
+    def __call__(self, item: tuple[int, "ArchitectureSpec"]) -> SimulatedJob:
+        if self._sim is None:
+            self._sim = ClusterSimulator(self.config)
+        job_id, spec = item
+        return self._sim.generate_one(job_id, spec)
