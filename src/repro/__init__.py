@@ -33,6 +33,9 @@ Subpackages
 ``repro.resilience``
     Crash-safety toolkit: fault injection, retry with backoff, and the
     ``repro resilience-bench`` kill/resume harness.
+``repro.store``
+    Crash-safe sharded telemetry store: WAL + mmap segment files,
+    zero-copy reads, deterministic replay, compaction.
 ``repro.parallel``
     Process-pool map and shared-memory arrays.
 """

@@ -8,6 +8,7 @@ Four subcommands cover the common workflows end to end::
     python -m repro serve-bench      --scale 0.02 --jobs 50
     python -m repro monitor-bench    --scale 0.02 --jobs 24 --challenger good
     python -m repro resilience-bench --scale 0.01 --mtbf-epochs 2
+    python -m repro store-bench      --quick --out BENCH_store.json
 
 All commands are deterministic for a given ``--seed`` (``serve-bench`` and
 ``monitor-bench`` wall-clock throughput varies with the machine; every
@@ -53,6 +54,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for job generation "
                             "(-1 = all cores; output is bit-identical "
                             "to serial)")
+    p_sim.add_argument("--store-dir",
+                       help="archive every generated GPU series into a "
+                            "crash-safe telemetry store at this path")
 
     p_eval = sub.add_parser("evaluate", help="train and test one baseline")
     add_common(p_eval)
@@ -133,6 +137,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_mon.add_argument("--registry-dir",
                        help="model registry directory (default: a "
                             "temporary directory)")
+    p_mon.add_argument("--store-dir",
+                       help="replay the fleet from a telemetry store at "
+                            "this path (an empty store is seeded with the "
+                            "bench's simulated release first)")
 
     p_res = sub.add_parser(
         "resilience-bench",
@@ -177,6 +185,31 @@ def build_parser() -> argparse.ArgumentParser:
                         help="directory for BENCH_serve.json / "
                              "BENCH_train.json / BENCH_infer.json "
                              "(default: current directory)")
+
+    p_store = sub.add_parser(
+        "store-bench",
+        help="ingest a simulated release into the crash-safe telemetry "
+             "store, then gate replay bit-parity, SIGKILL recovery at "
+             "every store.* fault point, zero-copy RSS, and compaction "
+             "feature parity while timing ingest/recover/replay/compact",
+    )
+    p_store.add_argument("--seed", type=int, default=2022,
+                         help="simulation seed (default 2022)")
+    p_store.add_argument("--scale", type=float, default=0.02,
+                         help="trials_scale of the ingested release")
+    p_store.add_argument("--repeats", type=int, default=3,
+                         help="timed runs per bench (default 3)")
+    p_store.add_argument("--shards", type=int, nargs="+", default=[1, 4],
+                         help="shard counts the parity gates sweep "
+                              "(default: 1 4)")
+    p_store.add_argument("--rates", type=float, nargs="+", default=[1.0, 4.0],
+                         help="replay-rate multipliers the determinism "
+                              "gate sweeps (default: 1.0 4.0)")
+    p_store.add_argument("--quick", action="store_true",
+                         help="CI smoke: smaller release, fewer repeats")
+    p_store.add_argument("--out", default="BENCH_store.json",
+                         help="output path for the bench JSON "
+                              "(default: BENCH_store.json)")
     return parser
 
 
@@ -190,9 +223,17 @@ def _cmd_simulate(args) -> int:
     from repro.simcluster.nodestate import snapshot_cluster
 
     config = SimulationConfig(seed=args.seed, trials_scale=args.scale)
-    jobs, log = ClusterSimulator(config).generate(n_jobs=args.n_jobs)
+    store = None
+    if args.store_dir:
+        from repro.store import TelemetryStore
+        store = TelemetryStore(args.store_dir)
+    jobs, log = ClusterSimulator(config).generate(n_jobs=args.n_jobs,
+                                                  store=store)
     labelled = trials_from_jobs(jobs)
     print(f"simulated {len(jobs)} jobs -> {len(labelled)} labelled GPU series")
+    if store is not None:
+        print(f"archived telemetry to store: {store.stats()}")
+        store.close()
     print("family totals:", family_totals(labelled))
     state = snapshot_cluster(list(log), n_nodes=224, dt_s=600.0)
     print(f"cluster view: peak {state.peak_concurrency()} GPUs in use "
@@ -349,6 +390,7 @@ def _cmd_monitor_bench(args) -> int:
         drift_offset=args.drift_offset,
         class_shift_fraction=args.class_shift,
         canary_fraction=args.canary_fraction,
+        store_dir=args.store_dir,
     )
     report = run_monitor_bench(config)
     print(f"trained champion + {args.challenger} challenger "
@@ -428,6 +470,38 @@ def _cmd_perf_bench(args) -> int:
     return 0
 
 
+def _cmd_store_bench(args) -> int:
+    from repro.perf import ParityError, write_bench_json
+    from repro.store.bench import StoreBenchConfig, run_store_bench
+
+    if args.quick:
+        config = StoreBenchConfig(
+            seed=args.seed, scale=min(args.scale, 0.01),
+            shard_counts=(1, 2), rates=(1.0, 4.0), repeats=2,
+        )
+    else:
+        config = StoreBenchConfig(
+            seed=args.seed, scale=args.scale,
+            shard_counts=tuple(args.shards), rates=tuple(args.rates),
+            repeats=args.repeats,
+        )
+    try:
+        results = run_store_bench(config)
+    except ParityError as exc:
+        print(f"STORE GATE FAILURE: {exc}", file=sys.stderr)
+        return 1
+    path = write_bench_json(args.out, results)
+    print(f"# {path}")
+    for result in results:
+        print(f"  {result}")
+    print("gates: ingest/readback bit-parity at shards "
+          f"{list(config.shard_counts)}, replay determinism at rates "
+          f"{list(config.rates)}, SIGKILL recovery at store.wal.append / "
+          "store.segment.finalize / store.manifest.swap, replay RSS, "
+          "compaction feature parity — all passed")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -439,6 +513,7 @@ def main(argv: list[str] | None = None) -> int:
         "monitor-bench": _cmd_monitor_bench,
         "resilience-bench": _cmd_resilience_bench,
         "perf-bench": _cmd_perf_bench,
+        "store-bench": _cmd_store_bench,
     }
     return handlers[args.command](args)
 

@@ -79,7 +79,11 @@ class OnlineWorkloadClassifier:
         """Feed new telemetry samples; returns any predictions emitted.
 
         ``samples`` is ``(k, n_sensors)`` — one or more new rows of the
-        live series, in time order.
+        live series, in time order.  Bulk blocks are consumed segment by
+        segment (each segment runs to the next emission point), extending
+        the buffer once per segment instead of once per row; emissions
+        are identical to pushing the same rows one at a time, which the
+        parity suite pins.
         """
         samples = np.atleast_2d(np.asarray(samples, dtype=np.float64))
         if samples.shape[1] != N_GPU_SENSORS:
@@ -88,14 +92,25 @@ class OnlineWorkloadClassifier:
                 f"got {samples.shape[1]}"
             )
         out: list[StreamPrediction] = []
-        for row in samples:
+        pos, n = 0, samples.shape[0]
+        while pos < n:
+            # Rows until the next possible emission: fill the buffer,
+            # then honor the hop (the first-ever window emits as soon as
+            # the buffer fills).
+            need_full = self.window - len(self._buffer)
+            if self._votes:
+                due = max(need_full, self.hop - self._since_last, 1)
+            else:
+                due = max(need_full, 1)
+            block = samples[pos : pos + due]
+            pos += block.shape[0]
             if self.monitor is not None:
-                self.monitor.update(row)
-            self._buffer.append(row)
-            self._n_seen += 1
-            self._since_last += 1
-            buffer_full = len(self._buffer) == self.window
-            if buffer_full and (
+                for row in block:
+                    self.monitor.update(row)
+            self._buffer.extend(block)
+            self._n_seen += block.shape[0]
+            self._since_last += block.shape[0]
+            if len(self._buffer) == self.window and (
                 self._since_last >= self.hop or len(self._votes) == 0
             ):
                 out.append(self._classify())

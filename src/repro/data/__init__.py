@@ -22,7 +22,7 @@ from repro.data.challenge import (
 )
 from repro.data.stats import architecture_job_counts, challenge_suite_table, family_totals
 from repro.data.augment import jitter_augment, multi_window_resample, oversample_minority
-from repro.data.fulltrace import full_trace_covariance, full_trace_features
+from repro.data.fulltrace import TraceMoments, full_trace_covariance, full_trace_features
 from repro.data.fusion import build_fused_dataset, cpu_feature_names, cpu_summary_features
 
 __all__ = [
@@ -47,6 +47,7 @@ __all__ = [
     "multi_window_resample",
     "jitter_augment",
     "oversample_minority",
+    "TraceMoments",
     "full_trace_covariance",
     "full_trace_features",
     "build_fused_dataset",

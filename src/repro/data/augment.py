@@ -56,8 +56,9 @@ def multi_window_resample(
             np.full(windows_per_trial, length), window, WindowMode.RANDOM, rng
         )
         for off in offsets:
-            X[row] = extract_window(dataset.trials[int(idx)].series,
-                                    int(off), window)
+            trial = dataset.trials[int(idx)]
+            X[row] = extract_window(trial.series, int(off), window,
+                                    job_id=trial.job_id)
             row += 1
     return X, y
 

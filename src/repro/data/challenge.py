@@ -66,7 +66,9 @@ def _window_stack(
     n_sensors = dataset.trials[0].series.shape[1]
     out = np.empty((indices.size, window, n_sensors), dtype=dtype)
     for row, (idx, off) in enumerate(zip(indices, offsets)):
-        out[row] = extract_window(dataset.trials[int(idx)].series, int(off), window)
+        trial = dataset.trials[int(idx)]
+        out[row] = extract_window(trial.series, int(off), window,
+                                  job_id=trial.job_id)
     return out
 
 

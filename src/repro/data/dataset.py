@@ -40,7 +40,12 @@ class LabelledTrial:
     gpu_index: int = 0          # GPU within the job
 
     def __post_init__(self):
-        self.series = np.asarray(self.series, dtype=np.float64)
+        # float32 series (the telemetry store's native dtype) pass through
+        # untouched so memmap-backed trials stay zero-copy; everything else
+        # keeps the historical float64 coercion.
+        series = self.series
+        keep = isinstance(series, np.ndarray) and series.dtype == np.float32
+        self.series = np.asarray(series, dtype=np.float32 if keep else np.float64)
         if self.series.ndim != 2 or self.series.shape[1] != N_GPU_SENSORS:
             raise ValueError(
                 f"trial series must be (n, {N_GPU_SENSORS}), got {self.series.shape}"

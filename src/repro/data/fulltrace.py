@@ -9,29 +9,109 @@ This module provides the covariance-feature analogue for *whole*
 variable-length series — the covariance trick is length-invariant, so the
 same R^28 representation extends from fixed 60-second windows to full
 traces without any alignment machinery.
+
+Everything here is **single-pass and bounded-memory**: series are
+consumed in ``chunk_rows``-sized blocks standardized into one reused
+scratch buffer, so a multi-hour trace never materializes a full
+standardized copy.  For series that fit one chunk (every release-scale
+trial) the result is bit-identical to the dense formulation, which is
+kept as ``_full_trace_covariance_dense`` and pinned by the parity suite.
+:class:`TraceMoments` accumulates the raw ``(count, sum, outer-product)``
+sufficient statistics instead — mergeable across chunks and processes —
+and is what the telemetry store's compaction downsampler persists so
+covariance features survive after raw rows are folded into time buckets.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.data.dataset import LabelledDataset
 
-__all__ = ["full_trace_covariance", "full_trace_features"]
+__all__ = [
+    "TraceMoments",
+    "full_trace_covariance",
+    "full_trace_features",
+]
+
+#: Rows standardized per chunk; bounds scratch at ~1 MiB for 7 sensors.
+DEFAULT_CHUNK_ROWS = 16384
 
 
-def full_trace_covariance(
-    series: np.ndarray,
-    mean: np.ndarray,
-    scale: np.ndarray,
-) -> np.ndarray:
-    """Upper-triangle sensor covariance of one variable-length series.
+@dataclass
+class TraceMoments:
+    """Raw second moments of a series: ``count``, ``sum``, gram matrix.
 
-    ``mean`` / ``scale`` are the dataset-level per-sensor standardization
-    statistics (computed once over all trials, as the paper's
-    ``StandardScaler`` does) so features remain comparable across trials of
-    different lengths.
+    One pass of :meth:`update` calls over row chunks accumulates
+    everything needed to reconstruct the standardized covariance features
+    later — for *any* standardization statistics — via
+    :meth:`standardized_covariance`.  Instances merge associatively, so
+    per-segment moments combine into per-trial ones.
     """
+
+    n_sensors: int
+    count: int = 0
+    sum: np.ndarray = field(default=None)
+    gram: np.ndarray = field(default=None)
+
+    def __post_init__(self):
+        if self.sum is None:
+            self.sum = np.zeros(self.n_sensors)
+        if self.gram is None:
+            self.gram = np.zeros((self.n_sensors, self.n_sensors))
+
+    def update(self, chunk: np.ndarray) -> "TraceMoments":
+        """Fold one ``(m, n_sensors)`` row block into the moments."""
+        chunk = np.asarray(chunk)
+        if chunk.ndim != 2 or chunk.shape[1] != self.n_sensors:
+            raise ValueError(
+                f"chunk must be (m, {self.n_sensors}), got {chunk.shape}"
+            )
+        c = chunk.astype(np.float64, copy=False)
+        self.count += chunk.shape[0]
+        self.sum += c.sum(axis=0)
+        self.gram += c.T @ c
+        return self
+
+    def merge(self, other: "TraceMoments") -> "TraceMoments":
+        """Combine with moments accumulated elsewhere (associative)."""
+        if other.n_sensors != self.n_sensors:
+            raise ValueError("cannot merge moments with different sensor counts")
+        self.count += other.count
+        self.sum += other.sum
+        self.gram += other.gram
+        return self
+
+    def standardized_covariance(
+        self, mean: np.ndarray, scale: np.ndarray
+    ) -> np.ndarray:
+        """Upper-triangle covariance features under ``(mean, scale)``.
+
+        Uses the shift identity ``zᵀz = D⁻¹(G − μsᵀ − sμᵀ + tμμᵀ)D⁻¹``
+        (``G`` the raw gram, ``s`` the raw sum, ``D = diag(scale)``), so
+        no pass over the original rows is needed.
+        """
+        if self.count == 0:
+            raise ValueError("no rows accumulated")
+        mean = np.asarray(mean, dtype=np.float64)
+        scale = np.asarray(scale, dtype=np.float64)
+        centered = (
+            self.gram
+            - np.outer(mean, self.sum)
+            - np.outer(self.sum, mean)
+            + self.count * np.outer(mean, mean)
+        )
+        gram = centered / np.outer(scale, scale)
+        iu = np.triu_indices(self.n_sensors)
+        return gram[iu] / self.count
+
+
+def _full_trace_covariance_dense(
+    series: np.ndarray, mean: np.ndarray, scale: np.ndarray
+) -> np.ndarray:
+    """Reference implementation: materializes the full standardized copy."""
     z = (np.asarray(series, dtype=np.float64) - mean) / scale
     t, s = z.shape
     gram = (z.T @ z) / t
@@ -39,31 +119,75 @@ def full_trace_covariance(
     return gram[iu]
 
 
+def full_trace_covariance(
+    series: np.ndarray,
+    mean: np.ndarray,
+    scale: np.ndarray,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+) -> np.ndarray:
+    """Upper-triangle sensor covariance of one variable-length series.
+
+    ``mean`` / ``scale`` are the dataset-level per-sensor standardization
+    statistics (computed once over all trials, as the paper's
+    ``StandardScaler`` does) so features remain comparable across trials of
+    different lengths.
+
+    The series is consumed in ``chunk_rows`` blocks standardized into one
+    reused scratch buffer — memory stays bounded for arbitrarily long
+    traces.  Series up to ``chunk_rows`` rows (every release-scale trial)
+    produce bits identical to the dense reference.
+    """
+    if chunk_rows < 1:
+        raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    series = np.asarray(series)
+    t, s = series.shape
+    gram = np.zeros((s, s))
+    scratch = np.empty((min(chunk_rows, max(t, 1)), s), dtype=np.float64)
+    for start in range(0, t, chunk_rows):
+        chunk = series[start : start + chunk_rows]
+        z = scratch[: chunk.shape[0]]
+        np.subtract(chunk, mean, out=z)
+        np.divide(z, scale, out=z)
+        gram += z.T @ z
+    iu = np.triu_indices(s)
+    return gram[iu] / t
+
+
 def full_trace_features(
     dataset: LabelledDataset,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Covariance features over every trial's *entire* series.
 
     Returns ``(X, y, job_ids)`` with ``X`` of shape ``(n_trials, 28)``.
     Standardization statistics pool all samples of all trials (weighted by
-    length), mirroring the windowed pipeline's scaler semantics.
+    length), mirroring the windowed pipeline's scaler semantics.  Both
+    passes stream in ``chunk_rows`` blocks; no full-trial standardized or
+    squared copy is ever materialized.
     """
     if len(dataset) == 0:
         raise ValueError("empty labelled dataset")
     n_sensors = dataset.trials[0].series.shape[1]
-    # Pooled mean/std over all samples of all trials, computed in one pass.
+    # Pooled mean/std over all samples of all trials, in one chunked pass.
     total = np.zeros(n_sensors)
     total_sq = np.zeros(n_sensors)
     count = 0
+    sq_scratch = np.empty((chunk_rows, n_sensors), dtype=np.float64)
     for trial in dataset:
-        total += trial.series.sum(axis=0)
-        total_sq += (trial.series.astype(np.float64) ** 2).sum(axis=0)
+        series = trial.series
+        for start in range(0, series.shape[0], chunk_rows):
+            chunk = series[start : start + chunk_rows]
+            total += chunk.sum(axis=0, dtype=np.float64)
+            sq = sq_scratch[: chunk.shape[0]]
+            np.multiply(chunk, chunk, out=sq)
+            total_sq += sq.sum(axis=0)
         count += trial.n_samples
     mean = total / count
     var = np.maximum(total_sq / count - mean**2, 0.0)
     scale = np.where(var > 0, np.sqrt(var), 1.0)
 
     X = np.vstack([
-        full_trace_covariance(trial.series, mean, scale) for trial in dataset
+        full_trace_covariance(trial.series, mean, scale, chunk_rows)
+        for trial in dataset
     ])
     return X, dataset.labels(), dataset.job_ids()

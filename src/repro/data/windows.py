@@ -78,11 +78,19 @@ def window_offsets(
     return rng.integers(0, slack + 1)
 
 
-def extract_window(series: np.ndarray, offset: int, window: int) -> np.ndarray:
-    """Cut one window (returns a view — no copy, per the NumPy guide)."""
+def extract_window(
+    series: np.ndarray, offset: int, window: int, *, job_id: int | None = None
+) -> np.ndarray:
+    """Cut one window (returns a view — no copy, per the NumPy guide).
+
+    ``job_id`` is provenance for the error message only: a bad offset on
+    a 17k-trial release should say *which* trial was too short.
+    """
     n = series.shape[0]
     if offset < 0 or offset + window > n:
+        who = f"job {job_id}'s series" if job_id is not None else "series"
         raise ValueError(
-            f"window [{offset}, {offset + window}) out of bounds for length {n}"
+            f"window [{offset}, {offset + window}) out of bounds for "
+            f"{who} of length {n}"
         )
     return series[offset : offset + window]

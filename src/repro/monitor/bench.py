@@ -60,6 +60,9 @@ class MonitorBenchConfig:
     model_name: str = "workload"
     registry_dir: str | None = None     # None -> fresh temp dir
     # fleet replay
+    store_dir: str | None = None        # replay from a TelemetryStore;
+                                        # an empty store is seeded with the
+                                        # bench's simulated release first
     n_jobs: int = 24
     samples_per_tick: int = 90
     max_samples_per_job: int = 2700     # 5 min at 9 Hz
@@ -260,12 +263,33 @@ def run_monitor_bench(
     """
     config = config or MonitorBenchConfig()
     fit_seconds = 0.0
+    labelled = None
     if champion is None or challenger is None:
         champion, challenger, window, labelled, fit_seconds = (
             _train_models(config))
         eligible = labelled.eligible(window)
         series = [t.series for t in eligible.trials]
         labels = [t.label for t in eligible.trials]
+    store_backed = config.store_dir is not None
+    if store_backed:
+        # Source the replayed fleet from the telemetry store: sealed
+        # trials come back as zero-copy float32 memmap views.  A fresh
+        # (empty) store is seeded with this bench's simulated release.
+        from repro.store import TelemetryStore
+
+        store = TelemetryStore(config.store_dir)
+        if len(store) == 0:
+            if labelled is None:
+                raise ValueError(
+                    f"store {config.store_dir} is empty and no simulated "
+                    "release is available to seed it"
+                )
+            store.ingest_dataset(labelled.eligible(window))
+        series, labels = [], []
+        for _key, info, data in store.iter_trials():
+            if data.shape[0] >= window:
+                series.append(data)
+                labels.append(info.label)
     if series is None:
         raise ValueError("series must be provided when models are injected")
 
@@ -292,6 +316,7 @@ def run_monitor_bench(
         samples_per_tick=config.samples_per_tick,
         max_samples_per_job=config.max_samples_per_job,
         seed=config.seed,
+        keep_dtype=store_backed,
         drift=config.injection,
     )
     serve_config = ServeConfig(

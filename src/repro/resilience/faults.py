@@ -19,6 +19,9 @@ Instrumented points (grep for ``fault_point(`` to audit):
 ``registry.before_active_flip`` version registered, before the ACTIVE pointer flips
 ``trainer.mid_epoch``           once per mini-batch, before the optimizer step
 ``trainer.epoch_end``           epoch finished, checkpoint (if any) durable
+``store.wal.append``            half of one WAL record's bytes written
+``store.segment.finalize``      segment data durable in tmp, before the rename
+``store.manifest.swap``         segments finalized, before the manifest replace
 ==============================  =================================================
 
 Injection is process-local and off by default; ``fault_point`` is a single
@@ -61,6 +64,9 @@ FAULT_POINTS = frozenset({
     "registry.before_active_flip",
     "trainer.mid_epoch",
     "trainer.epoch_end",
+    "store.wal.append",
+    "store.segment.finalize",
+    "store.manifest.swap",
 })
 
 

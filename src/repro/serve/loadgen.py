@@ -104,6 +104,14 @@ class FleetLoadGenerator:
         desynchronizing window boundaries across the fleet.
     seed:
         Drives series assignment and stagger; fixes the whole replay.
+    rate:
+        Replay-rate multiplier: ``2.0`` delivers the same rows in half
+        the simulated time (tick duration divided by ``rate``).  Chunk
+        contents and order are unaffected.
+    keep_dtype:
+        Keep each series' own dtype instead of the historical float64
+        coercion — required for zero-copy replay of float32 memmap views
+        handed out by :class:`~repro.store.TelemetryStore`.
     drift:
         Optional :class:`~repro.monitor.inject.DriftInjection`: replayed
         streams get the sensor gain/offset ramp, and a seeded
@@ -122,6 +130,8 @@ class FleetLoadGenerator:
         max_samples_per_job: int | None = None,
         stagger_ticks: int = 3,
         seed: int = 0,
+        rate: float = 1.0,
+        keep_dtype: bool = False,
         drift=None,
     ):
         if not series:
@@ -132,14 +142,20 @@ class FleetLoadGenerator:
             raise ValueError(
                 f"samples_per_tick must be >= 1, got {samples_per_tick}"
             )
-        self.series = [np.asarray(s, dtype=np.float64) for s in series]
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if keep_dtype:
+            self.series = [np.asarray(s) for s in series]
+        else:
+            self.series = [np.asarray(s, dtype=np.float64) for s in series]
         self.labels = list(labels) if labels is not None else None
         if self.labels is not None and len(self.labels) != len(self.series):
             raise ValueError("labels and series lengths differ")
         self.n_jobs = n_jobs
         self.samples_per_tick = samples_per_tick
         self.max_samples_per_job = max_samples_per_job
-        self.tick_s = samples_per_tick * DEFAULT_DT_S
+        self.rate = float(rate)
+        self.tick_s = samples_per_tick * DEFAULT_DT_S / self.rate
         self.clock = SimulatedClock()
         rng = as_generator(seed)
         self._assignment = rng.integers(0, len(self.series), size=n_jobs)
@@ -178,6 +194,35 @@ class FleetLoadGenerator:
             n_jobs=n_jobs,
             **kwargs,
         )
+
+    @classmethod
+    def from_store(
+        cls,
+        store,
+        *,
+        n_jobs: int = 16,
+        min_samples: int = 540,
+        **kwargs,
+    ) -> "FleetLoadGenerator":
+        """Replay telemetry straight out of a :class:`TelemetryStore`.
+
+        Sealed trials are replayed as zero-copy float32 memmap views
+        (``keep_dtype`` defaults on); only trials with at least
+        ``min_samples`` rows participate, mirroring
+        :meth:`from_simulation`.
+        """
+        series: list[np.ndarray] = []
+        labels: list[int] = []
+        for _key, info, data in store.iter_trials():
+            if data.shape[0] >= min_samples:
+                series.append(data)
+                labels.append(info.label)
+        if not series:
+            raise ValueError(
+                f"store {store.root} has no trials with >= {min_samples} samples"
+            )
+        kwargs.setdefault("keep_dtype", True)
+        return cls(series, labels, n_jobs=n_jobs, **kwargs)
 
     # ------------------------------------------------------------------
     def _pick_class_shift_donors(self, rng) -> None:

@@ -175,7 +175,7 @@ class ClusterSimulator:
                             cpu_series=cpu, fs_counters=fs)
 
     def generate(
-        self, n_jobs: int | None = 1
+        self, n_jobs: int | None = 1, *, store=None
     ) -> tuple[list[SimulatedJob], SchedulerLog]:
         """Generate the whole release.
 
@@ -184,6 +184,11 @@ class ClusterSimulator:
         draws from its own named seed stream (see :meth:`generate_one`),
         so the release is bit-identical to the serial path at any
         ``n_jobs`` — pinned by the test suite.
+
+        ``store`` (an optional :class:`~repro.store.TelemetryStore`)
+        archives every GPU series as it is generated: the jobs are
+        ingested and sealed before this returns, so a downstream replay
+        reads back bit-identical float32 telemetry.
         """
         plan = self.job_plan()
         if effective_n_jobs(n_jobs) > 1 and len(plan) > 1:
@@ -194,6 +199,8 @@ class ClusterSimulator:
         log = SchedulerLog()
         for job in jobs:
             log.append(job.record)
+        if store is not None:
+            store.ingest(jobs)
         return jobs, log
 
 

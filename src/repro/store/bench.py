@@ -1,0 +1,428 @@
+"""The ``repro store-bench`` suite: ingest, replay, recovery, compaction.
+
+Like ``repro perf-bench``, every number this bench reports rides behind a
+correctness gate, and any gate failure raises
+:class:`~repro.perf.harness.ParityError` (the CLI exits nonzero):
+
+* **Ingest/readback parity** — at every configured shard count, each
+  stored series must be bit-identical to the float32 form of the array
+  the simulator produced at ingest time, both from the writing process
+  and after a fresh recovery open, and served zero-copy (the returned
+  view shares memory with the segment memmap).
+* **Replay determinism** — the emission label sequence of a fleet
+  replay must be identical across shard counts *and* rate multipliers
+  (rate rescales simulated time, never data), and every window a
+  stream session emits must equal the matching raw slice of the stored
+  series.
+* **Crash recovery** — a SIGKILL injected at each ``store.*`` fault
+  point must leave a store that reopens and serves *exactly* the
+  committed prefix: no torn reads, no lost commits.
+* **Zero-copy replay memory** — the replay bench's max-RSS growth after
+  warmup must stay ~0 (bounded by :data:`RSS_GATE_MB`), the measurable
+  form of "mmap reads add no per-batch copies".
+* **Compaction moments parity** — full-trace covariance features
+  computed from the moments a compacted trial carries must match the
+  features of the original raw rows.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.perf.harness import BenchResult, ParityError, measure
+from repro.resilience.bench import _run_to_sigkill
+from repro.resilience.faults import FaultInjector, FaultSpec, install
+from repro.store.compact import compact_store
+from repro.store.replay import ReplayConfig, Replayer
+from repro.store.store import TelemetryStore
+
+__all__ = ["StoreBenchConfig", "run_store_bench", "RSS_GATE_MB"]
+
+#: Allowed max-RSS growth (MiB) across the timed replay runs.  A copying
+#: read path fails this by tens of MiB even at smoke scale.
+RSS_GATE_MB = 8.0
+
+
+@dataclass(frozen=True)
+class StoreBenchConfig:
+    """Knobs of one store-bench run (``--quick`` shrinks all of them)."""
+
+    seed: int = 2022
+    scale: float = 0.02                 # simulator trials_scale
+    shard_counts: tuple[int, ...] = (1, 4)
+    rates: tuple[float, ...] = (1.0, 4.0)
+    n_replay_jobs: int = 16
+    samples_per_tick: int = 90
+    min_samples: int = 540
+    compact_bucket: int = 10
+    warmup: int = 1
+    repeats: int = 3
+
+    def __post_init__(self):
+        if not self.shard_counts or min(self.shard_counts) < 1:
+            raise ValueError(f"bad shard_counts {self.shard_counts}")
+        if not self.rates or min(self.rates) <= 0:
+            raise ValueError(f"bad rates {self.rates}")
+
+
+def _require(condition: bool, what: str) -> None:
+    if not condition:
+        raise ParityError(f"store gate failed: {what}")
+
+
+class _GrandMeanModel:
+    """Near-free deterministic model so replays time the I/O path."""
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Label 1 where the window's grand mean is positive."""
+        return (X.mean(axis=(1, 2)) > 0.0).astype(np.int64)
+
+
+def _simulated_jobs(config: StoreBenchConfig):
+    """The bench's telemetry corpus plus its float32 reference arrays."""
+    from repro.simcluster.cluster import ClusterSimulator, SimulationConfig
+
+    sim = ClusterSimulator(
+        SimulationConfig(seed=config.seed, trials_scale=config.scale)
+    )
+    jobs, _ = sim.generate()
+    reference = {
+        (job.record.job_id, gs.gpu_index):
+            np.ascontiguousarray(gs.data, dtype=np.float32)
+        for job in jobs
+        for gs in job.gpu_series
+    }
+    return jobs, reference
+
+
+# ----------------------------------------------------------------------
+# gate (a): ingest/readback bit-parity and replay determinism
+# ----------------------------------------------------------------------
+def _emission_trace(store: TelemetryStore, config: StoreBenchConfig, rate: float):
+    """The replayed emission sequence, as comparable plain tuples."""
+    replayer = Replayer(store, ReplayConfig(
+        n_jobs=config.n_replay_jobs,
+        samples_per_tick=config.samples_per_tick,
+        min_samples=config.min_samples,
+        rate=rate,
+        seed=config.seed,
+    ))
+    report = replayer.run(_GrandMeanModel())
+    return [
+        (e.job_id, int(e.prediction.label), int(e.prediction.smoothed_label))
+        for e in report.emissions
+    ]
+
+
+def _check_parity(config: StoreBenchConfig, jobs, reference, workdir: Path) -> None:
+    """Run the ingest/readback and replay-determinism gates."""
+    traces = []
+    for n_shards in config.shard_counts:
+        root = workdir / f"parity-{n_shards}"
+        with TelemetryStore(root, n_shards=n_shards) as store:
+            store.ingest(jobs)
+            for key, expected in reference.items():
+                _require(
+                    np.array_equal(store.series(*key), expected),
+                    f"stored series {key} at n_shards={n_shards}",
+                )
+        with TelemetryStore(root, n_shards=n_shards) as store:
+            for key, expected in reference.items():
+                got = store.series(*key)
+                _require(
+                    np.array_equal(got, expected),
+                    f"recovered series {key} at n_shards={n_shards}",
+                )
+            first = next(iter(reference))
+            _require(
+                np.shares_memory(
+                    store.series(*first),
+                    store._readers[store._catalog[first]].data,
+                ),
+                "sealed reads are zero-copy views of the segment memmap",
+            )
+            for rate in config.rates:
+                traces.append((n_shards, rate, _emission_trace(store, config, rate)))
+    base_shards, base_rate, base_trace = traces[0]
+    for n_shards, rate, trace in traces[1:]:
+        _require(
+            trace == base_trace,
+            f"replay at n_shards={n_shards} rate={rate} diverged from "
+            f"n_shards={base_shards} rate={base_rate}",
+        )
+    _require(len(base_trace) > 0, "replay produced no emissions")
+
+
+def _check_window_parity(config: StoreBenchConfig, reference, workdir: Path) -> None:
+    """Every emitted window must equal the raw slice of the stored rows."""
+    from repro.serve.session import StreamSession
+
+    root = workdir / f"parity-{config.shard_counts[0]}"
+    window, hop = config.min_samples, config.samples_per_tick
+    with TelemetryStore(root, n_shards=config.shard_counts[0]) as store:
+        checked = 0
+        for key, expected in reference.items():
+            if expected.shape[0] < window or checked >= 8:
+                continue
+            stream = store.series(*key)
+            session = StreamSession(session_id=key, window=window, hop=hop)
+            for start in range(0, stream.shape[0], hop):
+                for req in session.push(stream[start : start + hop]):
+                    end = req.sample_index
+                    _require(
+                        np.array_equal(req.window, expected[end - window : end]),
+                        f"replayed window for {key} @ {end}",
+                    )
+            checked += 1
+        _require(checked > 0, "no trial long enough for window parity")
+
+
+# ----------------------------------------------------------------------
+# gate (b): SIGKILL recovery at every store.* fault point
+# ----------------------------------------------------------------------
+def _crash_payload(root: str | Path, point: str, at_hit: int, n_shards: int) -> dict:
+    return {
+        "root": str(root),
+        "point": point,
+        "at_hit": at_hit,
+        "n_shards": n_shards,
+    }
+
+
+def _committed_trials() -> list[tuple[int, np.ndarray]]:
+    """The two trials the crash workers durably commit before dying."""
+    rng = np.random.default_rng(7)
+    return [
+        (0, rng.normal(size=(600, 7)).astype(np.float32)),
+        (1, rng.normal(size=(480, 7)).astype(np.float32)),
+    ]
+
+
+def _victim_trial() -> tuple[int, np.ndarray]:
+    """The trial whose durability op the injected fault interrupts."""
+    rng = np.random.default_rng(11)
+    return 2, rng.normal(size=(540, 7)).astype(np.float32)
+
+
+def _crash_store_worker(payload: dict) -> None:
+    """Sacrificial child: commit two trials, then die at a fault point.
+
+    ``store.wal.append`` fires during the third trial's commit;
+    ``store.segment.finalize`` / ``store.manifest.swap`` fire during the
+    flush that tries to seal all three.
+    """
+    install(FaultInjector([
+        FaultSpec(payload["point"], at_hit=payload["at_hit"], mode="kill")
+    ]))
+    store = TelemetryStore(payload["root"], n_shards=payload["n_shards"])
+    for job_id, series in _committed_trials():
+        store.append(job_id, series, label=job_id, model_name=f"m{job_id}")
+    store.commit()
+    job_id, series = _victim_trial()
+    store.append(job_id, series, label=job_id, model_name=f"m{job_id}")
+    if payload["point"] == "store.wal.append":
+        store.commit()
+    else:
+        store.flush()
+    raise SystemExit("worker was supposed to die before finishing")
+
+
+def _check_recovery(config: StoreBenchConfig, workdir: Path) -> None:
+    """SIGKILL each store.* point; reopen must serve the committed prefix.
+
+    The committed prefix differs by point: a kill mid-WAL-append loses
+    exactly the uncommitted victim, while a kill anywhere in the flush
+    sequence (segment finalize, manifest swap) loses *nothing* — the
+    flush group-committed the victim to the WAL before sealing, and the
+    WAL survives until the manifest swap lands.
+    """
+    pair = _committed_trials()
+    all_three = pair + [_victim_trial()]
+    scenarios = [
+        # wal.append hits once per record per commit: 2 for the committed
+        # pair, so hit 3 lands mid-frame in the victim's commit.
+        ("store.wal.append", 3, pair),
+        ("store.segment.finalize", 1, all_three),
+        ("store.manifest.swap", 1, all_three),
+    ]
+    for n_shards in config.shard_counts:
+        for point, at_hit, survivors in scenarios:
+            root = workdir / f"crash-{point.replace('.', '_')}-{n_shards}"
+            killed = _run_to_sigkill(
+                _crash_store_worker,
+                _crash_payload(root, point, at_hit, n_shards),
+            )
+            _require(killed, f"worker survived fault at {point}")
+            with TelemetryStore(root, n_shards=n_shards) as store:
+                _require(
+                    store.keys() == [(j, 0) for j, _ in survivors],
+                    f"committed prefix after kill at {point} "
+                    f"(n_shards={n_shards}): got {store.keys()}",
+                )
+                for job_id, series in survivors:
+                    _require(
+                        np.array_equal(store.series(job_id), series),
+                        f"series {job_id} intact after kill at {point}",
+                    )
+                store.verify()
+                store.gc_stray()
+                for job_id, series in survivors:
+                    _require(
+                        np.array_equal(store.series(job_id), series),
+                        f"series {job_id} intact after gc at {point}",
+                    )
+
+
+# ----------------------------------------------------------------------
+# gate (e): compaction preserves full-trace features via moments
+# ----------------------------------------------------------------------
+def _check_compaction(config: StoreBenchConfig, jobs, reference, workdir: Path):
+    """Compact a store and gate moments-derived features against raw rows."""
+    from repro.data.fulltrace import full_trace_covariance
+
+    root = workdir / "compact"
+    with TelemetryStore(root, n_shards=config.shard_counts[0]) as store:
+        store.ingest(jobs)
+        n_sensors = store.n_sensors
+        mean = np.zeros(n_sensors)
+        scale = np.ones(n_sensors)
+        raw_features = {
+            key: full_trace_covariance(expected, mean, scale)
+            for key, expected in reference.items()
+        }
+        rows_before = store.total_rows()
+        report = compact_store(
+            store, bucket=config.compact_bucket, keep_segments=0
+        )
+        _require(report.segments_compacted > 0, "compaction compacted nothing")
+        _require(
+            store.total_rows() < rows_before,
+            "compaction did not reduce row count",
+        )
+        for key in reference:
+            got = store.moments(*key).standardized_covariance(mean, scale)
+            _require(
+                np.allclose(got, raw_features[key], rtol=1e-8, atol=1e-10),
+                f"moments-derived features for {key} after compaction",
+            )
+    with TelemetryStore(root, n_shards=config.shard_counts[0]) as store:
+        key = next(iter(reference))
+        got = store.moments(*key).standardized_covariance(mean, scale)
+        _require(
+            np.allclose(got, raw_features[key], rtol=1e-8, atol=1e-10),
+            "moments survive a reopen",
+        )
+        return report
+
+
+# ----------------------------------------------------------------------
+def run_store_bench(
+    config: StoreBenchConfig | None = None, *, workdir: str | Path | None = None
+) -> list[BenchResult]:
+    """Run every store bench and gate; returns the BENCH_store.json rows.
+
+    Raises :class:`ParityError` when any gate fails — torn read, replay
+    divergence, RSS growth, or feature drift — so callers can turn that
+    into a nonzero exit.
+    """
+    config = config or StoreBenchConfig()
+    own_workdir = workdir is None
+    workdir = Path(workdir) if workdir else Path(
+        tempfile.mkdtemp(prefix="repro-store-bench-")
+    )
+    workdir.mkdir(parents=True, exist_ok=True)
+    try:
+        jobs, reference = _simulated_jobs(config)
+        total_rows = int(sum(v.shape[0] for v in reference.values()))
+        bench_cfg = {
+            "scale": config.scale,
+            "trials": len(reference),
+            "rows": total_rows,
+            "shard_counts": list(config.shard_counts),
+            "rates": list(config.rates),
+        }
+
+        _check_parity(config, jobs, reference, workdir)
+        _check_window_parity(config, reference, workdir)
+        _check_recovery(config, workdir)
+
+        results: list[BenchResult] = []
+
+        def ingest_fresh() -> None:
+            root = workdir / "ingest"
+            shutil.rmtree(root, ignore_errors=True)
+            with TelemetryStore(root, n_shards=config.shard_counts[-1]) as store:
+                store.ingest(jobs)
+
+        results.append(measure(
+            ingest_fresh, bench="store.ingest", n_samples=total_rows,
+            config=bench_cfg, warmup=config.warmup, repeats=config.repeats,
+        ))
+
+        def recover_scan() -> None:
+            with TelemetryStore(
+                workdir / "ingest", n_shards=config.shard_counts[-1]
+            ) as store:
+                for _key, _info, series in store.iter_trials():
+                    series[0]            # touch first page of every trial
+
+        results.append(measure(
+            recover_scan, bench="store.recover", n_samples=total_rows,
+            config=bench_cfg, warmup=config.warmup, repeats=config.repeats,
+        ))
+
+        replay_store = TelemetryStore(
+            workdir / "ingest", n_shards=config.shard_counts[-1]
+        )
+        try:
+            replayer = Replayer(replay_store, ReplayConfig(
+                n_jobs=config.n_replay_jobs,
+                samples_per_tick=config.samples_per_tick,
+                min_samples=config.min_samples,
+                rate=config.rates[-1],
+                seed=config.seed,
+            ))
+            gen = replayer.loadgen()
+            replay_rows = sum(
+                gen.job_stream(j).shape[0] for j in range(gen.n_jobs)
+            )
+            replay = measure(
+                lambda: replayer.run(_GrandMeanModel()),
+                bench="store.replay", n_samples=int(replay_rows),
+                config={**bench_cfg, "n_jobs": config.n_replay_jobs,
+                        "rate": config.rates[-1]},
+                warmup=max(1, config.warmup), repeats=config.repeats,
+            )
+            _require(
+                replay.rss_mb <= RSS_GATE_MB,
+                f"replay RSS grew {replay.rss_mb:.1f} MiB "
+                f"(> {RSS_GATE_MB} MiB): read path is copying",
+            )
+            results.append(replay)
+        finally:
+            replay_store.close()
+
+        _check_compaction(config, jobs, reference, workdir)
+
+        def compact_fresh() -> None:
+            root = workdir / "compact-bench"
+            shutil.rmtree(root, ignore_errors=True)
+            with TelemetryStore(root, n_shards=config.shard_counts[0]) as store:
+                store.ingest(jobs)
+                compact_store(store, bucket=config.compact_bucket,
+                              keep_segments=0)
+
+        results.append(measure(
+            compact_fresh, bench="store.compact", n_samples=total_rows,
+            config={**bench_cfg, "bucket": config.compact_bucket},
+            warmup=0, repeats=max(2, config.repeats - 1),
+        ))
+        return results
+    finally:
+        if own_workdir:
+            shutil.rmtree(workdir, ignore_errors=True)

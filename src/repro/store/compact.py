@@ -1,0 +1,141 @@
+"""Time-bucketed downsampling compaction with retention.
+
+Old telemetry rarely needs full 100 ms cadence: compaction folds each
+trial's rows into fixed-width time buckets (bucket means), rewriting old
+segments as much smaller ones while the newest ``keep_segments`` per
+shard stay raw (the retention window a replay or debug session wants at
+native rate).
+
+Two properties make this lossless where it matters:
+
+* Each compacted :class:`~repro.store.segment.TrialSlice` carries the
+  :class:`~repro.data.fulltrace.TraceMoments` of the *original* rows —
+  the single-pass ``(count, sum, outer-product)`` accumulator — so
+  full-trace covariance features remain computable bit-for-bit after the
+  raw rows are gone.
+* The rewrite reuses the store's commit protocol: new segments are
+  finalized invisibly, one manifest swap retires the old ones, and only
+  then are their files deleted.  A kill anywhere leaves a consistent
+  store (at worst stray files for :meth:`TelemetryStore.gc_stray`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.fulltrace import TraceMoments
+from repro.store.segment import SegmentReader, SegmentWriter, TrialSlice, segment_paths
+from repro.store.store import TelemetryStore
+
+__all__ = ["CompactionReport", "bucket_means", "compact_store"]
+
+
+@dataclass(frozen=True)
+class CompactionReport:
+    """What one compaction pass did."""
+
+    segments_compacted: int
+    rows_before: int
+    rows_after: int
+
+    @property
+    def row_reduction(self) -> float:
+        """Fraction of rows eliminated (0 when nothing was compacted)."""
+        if self.rows_before == 0:
+            return 0.0
+        return 1.0 - self.rows_after / self.rows_before
+
+
+def bucket_means(rows: np.ndarray, bucket: int) -> np.ndarray:
+    """Mean of every ``bucket`` consecutive rows (trailing partial kept).
+
+    ``(n, s) -> (ceil(n / bucket), s)`` float32; accumulation runs in
+    float64.
+    """
+    if bucket < 1:
+        raise ValueError(f"bucket must be >= 1, got {bucket}")
+    rows = np.asarray(rows)
+    n = rows.shape[0]
+    starts = np.arange(0, n, bucket)
+    sums = np.add.reduceat(rows, starts, axis=0, dtype=np.float64)
+    counts = np.minimum(starts + bucket, n) - starts
+    return (sums / counts[:, None]).astype(np.float32)
+
+
+def compact_store(
+    store: TelemetryStore, *, bucket: int, keep_segments: int = 1
+) -> CompactionReport:
+    """Downsample every eligible segment of ``store`` in place.
+
+    Per shard, the newest ``keep_segments`` segments are retained raw;
+    older raw segments are rewritten with each trial reduced to
+    ``bucket``-row means plus its original-row :class:`TraceMoments`.
+    Already-compacted segments are skipped, so the pass is idempotent.
+    """
+    if bucket < 2:
+        raise ValueError(f"bucket must be >= 2 to downsample, got {bucket}")
+    if keep_segments < 0:
+        raise ValueError(f"keep_segments must be >= 0, got {keep_segments}")
+    store.flush()
+    manifest = store.manifest
+    swaps: list[tuple[int, int, int, dict]] = []   # shard, old, new, trials
+    rows_before = rows_after = 0
+    for shard in range(store.n_shards):
+        live = manifest.shard_segments(shard)
+        eligible = live[: len(live) - keep_segments] if keep_segments else live
+        for seq in eligible:
+            reader = store._readers[(shard, seq)]
+            if all(t.downsample_bucket for t in reader.trials.values()):
+                continue                            # already compacted
+            chunks: list[np.ndarray] = []
+            trials: dict[tuple[int, int], TrialSlice] = {}
+            start = 0
+            for key, info in sorted(
+                reader.trials.items(), key=lambda kv: kv[1].row_start
+            ):
+                raw = reader.series(key)
+                moments = info.moments
+                if moments is None:
+                    moments = TraceMoments(raw.shape[1]).update(raw)
+                if info.downsample_bucket:          # keep as-is, carry through
+                    down, eff_bucket = np.asarray(raw), info.downsample_bucket
+                else:
+                    down, eff_bucket = bucket_means(raw, bucket), bucket
+                chunks.append(down)
+                trials[key] = TrialSlice(
+                    row_start=start,
+                    n_rows=down.shape[0],
+                    label=info.label,
+                    model_name=info.model_name,
+                    downsample_bucket=eff_bucket,
+                    moments=moments,
+                )
+                start += down.shape[0]
+            rows_before += reader.n_rows
+            rows_after += start
+            new_seq = manifest.allocate_seq(shard)
+            SegmentWriter.write(
+                store._shard_dir(shard),
+                new_seq,
+                np.concatenate(chunks, axis=0),
+                trials,
+                fsync=store.fsync,
+            )
+            manifest.replace_segment(shard, seq, new_seq)
+            swaps.append((shard, seq, new_seq, trials))
+    if not swaps:
+        return CompactionReport(0, 0, 0)
+    manifest.save(store.root, fsync=store.fsync)    # atomic retire+publish
+    for shard, old_seq, new_seq, trials in swaps:
+        old = store._readers.pop((shard, old_seq))
+        old.close()
+        store._readers[(shard, new_seq)] = SegmentReader(
+            store._shard_dir(shard), new_seq
+        )
+        for key in trials:
+            store._catalog[key] = (shard, new_seq)
+        for path in segment_paths(store._shard_dir(shard), old_seq):
+            path.unlink(missing_ok=True)
+    return CompactionReport(len(swaps), rows_before, rows_after)

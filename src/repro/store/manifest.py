@@ -1,0 +1,111 @@
+"""The store's manifest: the single atomic commit point for sealed data.
+
+The manifest records, per shard, which segment files are live and the
+next segment sequence number.  It is the *only* authority readers
+consult: a segment file on disk that the manifest does not reference is
+invisible (a crash artifact, garbage-collected later), so sealing rows
+is atomic — either the ``os.replace`` of the manifest lands (all new
+segments visible at once) or it doesn't (the WAL still holds every
+committed row).
+
+The ``store.manifest.swap`` fault point fires after segments are durable
+but before the manifest replace, pinning exactly that window in the
+crash tests.
+"""
+
+from __future__ import annotations
+
+import pickle
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.resilience.faults import fault_point
+from repro.utils.persist import atomic_write_bytes
+
+__all__ = ["Manifest", "MANIFEST_NAME"]
+
+MANIFEST_NAME = "MANIFEST"
+_MAGIC = "repro-store-manifest-v1"
+
+
+@dataclass
+class Manifest:
+    """Live-segment catalog for one store; persisted atomically."""
+
+    n_shards: int
+    n_sensors: int | None = None        # fixed by the first append
+    version: int = 0                    # bumped on every swap
+    segments: dict[int, list[int]] = field(default_factory=dict)
+    next_seq: dict[int, int] = field(default_factory=dict)
+
+    def shard_segments(self, shard: int) -> list[int]:
+        """Sequence numbers of the live segments of ``shard``, in order."""
+        return list(self.segments.get(shard, []))
+
+    def allocate_seq(self, shard: int) -> int:
+        """Reserve the next segment sequence number for ``shard``."""
+        seq = self.next_seq.get(shard, 1)
+        self.next_seq[shard] = seq + 1
+        return seq
+
+    def add_segment(self, shard: int, seq: int) -> None:
+        """Reference a freshly sealed segment (visible after save)."""
+        self.segments.setdefault(shard, []).append(seq)
+
+    def replace_segment(self, shard: int, old_seq: int, new_seq: int) -> None:
+        """Swap a compacted segment for its downsampled replacement."""
+        seqs = self.segments.get(shard, [])
+        seqs[seqs.index(old_seq)] = new_seq
+
+    # ------------------------------------------------------------------
+    def save(self, root: str | Path, *, fsync: bool = True) -> Path:
+        """Atomically persist this manifest (the store's commit point)."""
+        self.version += 1
+        body = pickle.dumps(
+            {
+                "n_shards": self.n_shards,
+                "n_sensors": self.n_sensors,
+                "version": self.version,
+                "segments": self.segments,
+                "next_seq": self.next_seq,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        payload = pickle.dumps(
+            {"magic": _MAGIC, "crc32": zlib.crc32(body), "body": body},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        fault_point("store.manifest.swap")
+        return atomic_write_bytes(Path(root) / MANIFEST_NAME, payload, fsync=fsync)
+
+    @classmethod
+    def load(cls, root: str | Path) -> "Manifest | None":
+        """Load the manifest, or ``None`` when the store has never sealed.
+
+        Raises ``ValueError`` on a corrupt file — impossible through the
+        atomic write path, so it indicates disk-level damage.
+        """
+        path = Path(root) / MANIFEST_NAME
+        if not path.is_file():
+            return None
+        with path.open("rb") as handle:
+            try:
+                payload = pickle.load(handle)
+            except Exception as exc:
+                raise ValueError(f"{path} is not a repro store manifest: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("magic") != _MAGIC:
+            raise ValueError(f"{path} is not a repro store manifest")
+        body = payload["body"]
+        if zlib.crc32(body) != payload["crc32"]:
+            raise ValueError(
+                f"{path} failed its CRC32 check: the manifest is corrupt"
+            )
+        state = pickle.loads(body)
+        return cls(
+            n_shards=state["n_shards"],
+            n_sensors=state["n_sensors"],
+            version=state["version"],
+            segments=state["segments"],
+            next_seq=state["next_seq"],
+        )

@@ -1,0 +1,164 @@
+"""Immutable columnar segment files with memory-mapped zero-copy reads.
+
+A segment is the sealed, read-optimized form of a batch of WAL records:
+
+* ``seg-NNNNNN.dat`` — the raw telemetry: fixed-width float32 sensor
+  columns, one ``(n_rows, n_sensors)`` C-order frame table.  Every
+  trial occupies one contiguous row range, so a per-trial read is a
+  single ``np.memmap`` slice — a zero-copy view handed straight to the
+  serving/replay path.
+* ``seg-NNNNNN.meta`` — the header: per-trial index (key → row range,
+  label, model name), a CRC32 over the data bytes, and optional
+  downsampling provenance.  Written atomically via
+  :func:`repro.utils.persist.atomic_write_bytes`, so it is either absent
+  or intact.
+
+Finalization is crash-safe: data bytes go to a ``.tmp`` file, are
+fsynced, and only then renamed over the final name (the
+``store.segment.finalize`` fault point sits between the two); the meta
+follows.  A segment becomes *visible* only once the manifest references
+it, so a kill anywhere in this sequence leaves at worst stray files that
+readers never consult.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.resilience.faults import fault_point
+from repro.utils.persist import atomic_write_bytes
+
+__all__ = ["TrialSlice", "SegmentWriter", "SegmentReader", "segment_paths"]
+
+_META_MAGIC = "repro-store-segment-v1"
+
+
+@dataclass(frozen=True)
+class TrialSlice:
+    """One trial's location and metadata inside a segment."""
+
+    row_start: int
+    n_rows: int
+    label: int
+    model_name: str
+    downsample_bucket: int = 0          # 0 = raw cadence
+    moments: object = None              # TraceMoments of the raw rows, if compacted
+
+
+def segment_paths(shard_dir: str | Path, seq: int) -> tuple[Path, Path]:
+    """``(dat, meta)`` paths of segment ``seq`` in ``shard_dir``."""
+    shard_dir = Path(shard_dir)
+    stem = f"seg-{seq:06d}"
+    return shard_dir / f"{stem}.dat", shard_dir / f"{stem}.meta"
+
+
+class SegmentWriter:
+    """Seals rows + per-trial index into one immutable segment."""
+
+    @staticmethod
+    def write(
+        shard_dir: str | Path,
+        seq: int,
+        rows: np.ndarray,
+        trials: dict[tuple[int, int], TrialSlice],
+        *,
+        fsync: bool = True,
+    ) -> tuple[Path, Path]:
+        """Durably write segment ``seq``; returns ``(dat, meta)`` paths.
+
+        ``rows`` is the concatenated ``(n_rows, n_sensors)`` float32
+        table; ``trials`` maps trial keys to their row ranges within it.
+        The data file is finalized first (tmp + fsync + rename), then the
+        meta; neither is visible to the store until the manifest commits.
+        """
+        shard_dir = Path(shard_dir)
+        shard_dir.mkdir(parents=True, exist_ok=True)
+        rows = np.ascontiguousarray(rows, dtype=np.float32)
+        if rows.ndim != 2:
+            raise ValueError(f"segment rows must be 2-D, got {rows.shape}")
+        dat_path, meta_path = segment_paths(shard_dir, seq)
+        data = rows.tobytes()
+
+        fd, tmp_name = tempfile.mkstemp(
+            dir=shard_dir, prefix=dat_path.name + ".", suffix=".tmp"
+        )
+        tmp = Path(tmp_name)
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+                if fsync:
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            fault_point("store.segment.finalize")
+            os.replace(tmp, dat_path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+        meta = {
+            "magic": _META_MAGIC,
+            "n_rows": int(rows.shape[0]),
+            "n_sensors": int(rows.shape[1]),
+            "dtype": "float32",
+            "crc32": zlib.crc32(data),
+            "trials": dict(trials),
+        }
+        atomic_write_bytes(
+            meta_path,
+            pickle.dumps(meta, protocol=pickle.HIGHEST_PROTOCOL),
+            fsync=fsync,
+        )
+        return dat_path, meta_path
+
+
+class SegmentReader:
+    """Zero-copy reads of one sealed segment via ``np.memmap``.
+
+    The map is created lazily on first read and shared by every trial
+    view, so replaying a fleet from a segment touches each page once and
+    allocates nothing per batch.
+    """
+
+    def __init__(self, shard_dir: str | Path, seq: int):
+        self.dat_path, self.meta_path = segment_paths(shard_dir, seq)
+        self.seq = seq
+        with self.meta_path.open("rb") as handle:
+            meta = pickle.load(handle)
+        if not isinstance(meta, dict) or meta.get("magic") != _META_MAGIC:
+            raise ValueError(f"{self.meta_path} is not a repro store segment meta")
+        self.n_rows: int = meta["n_rows"]
+        self.n_sensors: int = meta["n_sensors"]
+        self.crc32: int = meta["crc32"]
+        self.trials: dict[tuple[int, int], TrialSlice] = meta["trials"]
+        self._mmap: np.memmap | None = None
+
+    @property
+    def data(self) -> np.ndarray:
+        """The whole segment as a read-only ``(n_rows, n_sensors)`` memmap."""
+        if self._mmap is None:
+            self._mmap = np.memmap(
+                self.dat_path,
+                dtype=np.float32,
+                mode="r",
+                shape=(self.n_rows, self.n_sensors),
+            )
+        return self._mmap
+
+    def series(self, key: tuple[int, int]) -> np.ndarray:
+        """Zero-copy view of one trial's rows (oldest first)."""
+        t = self.trials[key]
+        return self.data[t.row_start : t.row_start + t.n_rows]
+
+    def verify(self) -> bool:
+        """CRC32-check the data bytes against the sealed header."""
+        return zlib.crc32(self.dat_path.read_bytes()) == self.crc32
+
+    def close(self) -> None:
+        """Release the memory map (views become invalid)."""
+        self._mmap = None

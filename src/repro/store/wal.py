@@ -1,0 +1,203 @@
+"""Per-shard write-ahead log with group commit.
+
+The WAL is the durability layer for freshly appended telemetry: records
+are framed, CRC-protected, and appended to one log file per shard.  A
+*group commit* (:meth:`WriteAheadLog.commit`) writes every staged record
+and fsyncs the file once, so a batch of appends costs one disk flush.
+
+Frame layout (little-endian)::
+
+    magic   4 bytes   b"RWL1"
+    length  u32       payload byte count
+    payload bytes     pickled record header + raw float32 series bytes
+    crc32   u32       CRC32 over the payload
+
+Recovery reads records in order and stops at the first frame that is
+truncated, mis-magic'd, or fails its CRC — everything before that point
+was durably committed and is served; everything after never committed
+(a SIGKILL mid-append leaves exactly such a torn tail; see the
+``store.wal.append`` fault point).  The torn tail is trimmed the next
+time the log is opened for writing, never on read.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.resilience.faults import fault_point
+
+__all__ = ["WalRecord", "WriteAheadLog", "read_wal"]
+
+_MAGIC = b"RWL1"
+_FRAME_HEAD = struct.Struct("<4sI")     # magic, payload length
+_FRAME_TAIL = struct.Struct("<I")       # crc32
+_MAX_PAYLOAD = 1 << 31                  # sanity bound against garbage lengths
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One committed telemetry append: a whole trial's series plus label.
+
+    ``series`` is float32 C-order ``(n_rows, n_sensors)``; the pair
+    ``(job_id, gpu_index)`` is the trial key, unique per store.
+    """
+
+    job_id: int
+    gpu_index: int
+    label: int
+    model_name: str
+    series: np.ndarray
+
+    def encode(self) -> bytes:
+        """Frame this record (magic + length + payload + crc)."""
+        series = np.ascontiguousarray(self.series, dtype=np.float32)
+        payload = pickle.dumps(
+            {
+                "job_id": int(self.job_id),
+                "gpu_index": int(self.gpu_index),
+                "label": int(self.label),
+                "model_name": str(self.model_name),
+                "shape": series.shape,
+                "data": series.tobytes(),
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        return (
+            _FRAME_HEAD.pack(_MAGIC, len(payload))
+            + payload
+            + _FRAME_TAIL.pack(zlib.crc32(payload))
+        )
+
+    @property
+    def key(self) -> tuple[int, int]:
+        """The trial key ``(job_id, gpu_index)``."""
+        return (self.job_id, self.gpu_index)
+
+
+def _decode_payload(payload: bytes) -> WalRecord:
+    head = pickle.loads(payload)
+    series = np.frombuffer(head["data"], dtype=np.float32).reshape(head["shape"])
+    return WalRecord(
+        job_id=head["job_id"],
+        gpu_index=head["gpu_index"],
+        label=head["label"],
+        model_name=head["model_name"],
+        series=series,
+    )
+
+
+def read_wal(path: str | Path) -> tuple[list[WalRecord], int]:
+    """Read every intact record of a WAL file.
+
+    Returns ``(records, valid_bytes)`` where ``valid_bytes`` is the
+    offset of the first torn/corrupt frame (== file size when the log is
+    clean).  Never modifies the file.
+    """
+    path = Path(path)
+    if not path.is_file():
+        return [], 0
+    raw = path.read_bytes()
+    records: list[WalRecord] = []
+    offset = 0
+    while offset + _FRAME_HEAD.size + _FRAME_TAIL.size <= len(raw):
+        magic, length = _FRAME_HEAD.unpack_from(raw, offset)
+        if magic != _MAGIC or length > _MAX_PAYLOAD:
+            break
+        body_start = offset + _FRAME_HEAD.size
+        body_end = body_start + length
+        if body_end + _FRAME_TAIL.size > len(raw):
+            break                       # torn tail: record never committed
+        payload = raw[body_start:body_end]
+        (crc,) = _FRAME_TAIL.unpack_from(raw, body_end)
+        if zlib.crc32(payload) != crc:
+            break
+        try:
+            records.append(_decode_payload(payload))
+        except Exception:               # undecodable despite CRC: treat as torn
+            break
+        offset = body_end + _FRAME_TAIL.size
+    return records, offset
+
+
+class WriteAheadLog:
+    """Append-only log for one shard, with staged records and group commit."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._staged: list[WalRecord] = []
+        self._trimmed = False
+
+    @property
+    def n_staged(self) -> int:
+        """Records staged but not yet committed."""
+        return len(self._staged)
+
+    def stage(self, record: WalRecord) -> None:
+        """Buffer a record in memory; durable only after :meth:`commit`."""
+        self._staged.append(record)
+
+    def _trim_torn_tail(self) -> None:
+        """Truncate any torn frame a crash left, once, before first append."""
+        if self._trimmed:
+            return
+        self._trimmed = True
+        if not self.path.is_file():
+            return
+        _, valid = read_wal(self.path)
+        if valid < self.path.stat().st_size:
+            with self.path.open("rb+") as handle:
+                handle.truncate(valid)
+
+    def commit(self, *, fsync: bool = True) -> list[WalRecord]:
+        """Group-commit every staged record: write all frames, fsync once.
+
+        Returns the records that became durable.  A crash mid-commit
+        leaves a torn tail that recovery ignores, so earlier commits are
+        never damaged.
+        """
+        if not self._staged:
+            return []
+        self._trim_torn_tail()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            with self.path.open("ab") as handle:
+                for record in self._staged:
+                    frame = record.encode()
+                    half = len(frame) // 2
+                    handle.write(frame[:half])
+                    fault_point("store.wal.append")
+                    handle.write(frame[half:])
+                if fsync:
+                    handle.flush()
+                    os.fsync(handle.fileno())
+        except BaseException:
+            # An unwound fault mid-frame leaves a torn tail; keep the
+            # batch staged (commit is retryable — complete frames from a
+            # failed attempt are deduped by key on recovery) and force a
+            # re-trim before any future append lands behind the tear.
+            self._trimmed = False
+            raise
+        committed = self._staged
+        self._staged = []
+        return committed
+
+    def truncate(self) -> None:
+        """Drop every record (rows now sealed into segments)."""
+        if self.path.is_file():
+            with self.path.open("rb+") as handle:
+                handle.truncate(0)
+                handle.flush()
+                os.fsync(handle.fileno())
+        self._trimmed = True
+
+    def records(self) -> list[WalRecord]:
+        """Every intact committed record currently in the log."""
+        records, _ = read_wal(self.path)
+        return records

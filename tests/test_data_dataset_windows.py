@@ -122,6 +122,40 @@ class TestExtractWindow:
         with pytest.raises(ValueError):
             extract_window(np.zeros((600, 7)), -1, 540)
 
+    def test_error_names_offending_job(self):
+        """A 17k-trial release needs to know *which* trial was short."""
+        with pytest.raises(ValueError, match=r"job 4217's series of length 600"):
+            extract_window(np.zeros((600, 7)), 100, 540, job_id=4217)
+        with pytest.raises(ValueError, match=r"\[100, 640\)"):
+            extract_window(np.zeros((600, 7)), 100, 540, job_id=4217)
+
+    def test_error_without_job_id_stays_generic(self):
+        with pytest.raises(ValueError, match=r"for series of length 600"):
+            extract_window(np.zeros((600, 7)), 100, 540)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=1, max_value=3000),
+                 min_size=1, max_size=12),
+        st.integers(min_value=1, max_value=1000),
+        st.sampled_from(["start", "middle", "random"]),
+        st.integers(0, 1000),
+    )
+    def test_property_offsets_always_extractable(self, lengths, window,
+                                                 mode, seed):
+        """Every offset window_offsets returns is accepted by
+        extract_window — including the exact-fit boundary."""
+        lengths = np.array(lengths)
+        rng = np.random.default_rng(seed)
+        if np.any(lengths < window):
+            with pytest.raises(ValueError, match="shorter than window"):
+                window_offsets(lengths, window, mode, rng)
+            return
+        offs = window_offsets(lengths, window, mode, rng)
+        for n, off in zip(lengths, offs):
+            win = extract_window(np.zeros((n, 7)), int(off), window)
+            assert win.shape == (window, 7)
+
 
 class TestChallengeDataset:
     def _make(self, n_train=8, n_test=4):

@@ -234,3 +234,74 @@ class TestFullTrace:
 
         with pytest.raises(ValueError, match="empty"):
             full_trace_features(LabelledDataset([]))
+
+
+class TestTraceMoments:
+    """Streaming (count, sum, gram) accumulation vs the dense reference."""
+
+    def _standardizers(self, series):
+        mean = series.mean(axis=0)
+        scale = series.std(axis=0) + 1e-8
+        return mean, scale
+
+    def test_chunked_covariance_bit_identical_single_chunk(self):
+        from repro.data.fulltrace import DEFAULT_CHUNK_ROWS, _full_trace_covariance_dense
+
+        rng = np.random.default_rng(0)
+        series = rng.normal(size=(2000, 7))
+        assert series.shape[0] <= DEFAULT_CHUNK_ROWS
+        mean, scale = self._standardizers(series)
+        np.testing.assert_array_equal(
+            full_trace_covariance(series, mean, scale),
+            _full_trace_covariance_dense(series, mean, scale),
+        )
+
+    def test_chunked_covariance_close_across_chunks(self):
+        from repro.data.fulltrace import _full_trace_covariance_dense
+
+        rng = np.random.default_rng(1)
+        series = rng.normal(size=(5000, 7))
+        mean, scale = self._standardizers(series)
+        chunked = full_trace_covariance(series, mean, scale, chunk_rows=512)
+        dense = _full_trace_covariance_dense(series, mean, scale)
+        np.testing.assert_allclose(chunked, dense, rtol=1e-10, atol=1e-12)
+
+    def test_moments_update_and_merge(self):
+        from repro.data.fulltrace import TraceMoments
+
+        rng = np.random.default_rng(2)
+        series = rng.normal(size=(900, 7)).astype(np.float32)
+        mean, scale = self._standardizers(series)
+
+        whole = TraceMoments(n_sensors=7).update(series)
+        left = TraceMoments(n_sensors=7).update(series[:400])
+        right = TraceMoments(n_sensors=7).update(series[400:])
+        merged = left.merge(right)
+        assert merged.count == whole.count == 900
+        np.testing.assert_allclose(merged.sum, whole.sum, rtol=1e-12)
+        np.testing.assert_allclose(merged.gram, whole.gram, rtol=1e-12)
+        np.testing.assert_allclose(
+            merged.standardized_covariance(mean, scale),
+            full_trace_covariance(series, mean, scale),
+            rtol=1e-6, atol=1e-9,
+        )
+
+    def test_features_parity_with_per_trial_dense(self, labelled_tiny):
+        """full_trace_features equals the per-trial dense computation
+        under the pooled mean/scale it reports."""
+        from repro.data.fulltrace import _full_trace_covariance_dense
+
+        subset = type(labelled_tiny)(labelled_tiny.trials[:5])
+        X, _, _ = full_trace_features(subset)
+        stacked = np.concatenate([np.asarray(t.series, dtype=np.float64)
+                                  for t in subset], axis=0)
+        mean = stacked.mean(axis=0)
+        var = stacked.var(axis=0)
+        scale = np.where(var > 0, np.sqrt(var), 1.0)
+        for i, trial in enumerate(subset):
+            np.testing.assert_allclose(
+                X[i],
+                _full_trace_covariance_dense(
+                    np.asarray(trial.series, dtype=np.float64), mean, scale),
+                rtol=1e-7, atol=1e-9,
+            )

@@ -86,6 +86,57 @@ class TestOnlineClassifier:
         with pytest.raises(TypeError):
             OnlineWorkloadClassifier(model=object())
 
+    def test_bulk_push_matches_row_at_a_time(self):
+        """One 2-D block push emits exactly what per-row pushes emit —
+        the invariant behind the segment-sized fast path."""
+        patterns = [
+            [2000],                       # one huge block
+            [90] * 20 + [17],             # tick-sized blocks + remainder
+            [1, 2, 3, 5, 8, 13] * 40,     # ragged small blocks
+            [540, 1, 539, 90, 830],       # window-straddling blocks
+        ]
+        for blocks in patterns:
+            rng = np.random.default_rng(5)
+            stream = rng.normal(0, 1.0, size=(sum(blocks), 7))
+            bulk = self._stream(window=540, hop=90, vote=5)
+            rowwise = self._stream(window=540, hop=90, vote=5)
+            got, want = [], []
+            pos = 0
+            for n in blocks:
+                chunk = stream[pos:pos + n]
+                pos += n
+                got.extend(bulk.push(chunk))
+                for row in chunk:
+                    want.extend(rowwise.push(row[None, :]))
+            assert len(want) > 0
+            assert [
+                (p.sample_index, p.label, p.smoothed_label, p.confidence)
+                for p in got
+            ] == [
+                (p.sample_index, p.label, p.smoothed_label, p.confidence)
+                for p in want
+            ], f"bulk push diverged for block pattern {blocks[:8]}..."
+
+    def test_bulk_push_monitor_sees_every_row(self):
+        """The bulk fast path must not skip per-row monitor taps."""
+        class _Tap:
+            def __init__(self):
+                self.rows = []
+
+            def update(self, row):
+                self.rows.append(np.array(row))
+
+        tap = _Tap()
+        seen = tap.rows
+        clf = OnlineWorkloadClassifier(
+            model=_ConstantModel(), window=30, hop=10, monitor=tap,
+        )
+        rng = np.random.default_rng(6)
+        stream = rng.normal(size=(95, 7))
+        clf.push(stream)
+        assert len(seen) == 95
+        np.testing.assert_array_equal(np.vstack(seen), stream)
+
     def test_end_to_end_with_real_pipeline(self, challenge_suite_tiny):
         """A fitted RF pipeline classifying a simulated live stream."""
         from repro.models import make_rf_cov
