@@ -30,6 +30,9 @@ Subpackages
 ``repro.serve``
     Fleet-scale streaming inference: model registry, micro-batching
     server, metrics, deterministic load generator.
+``repro.fleet``
+    Sharded serving control plane: consistent-hash routing, worker
+    failover by history replay, metrics-driven autoscaling.
 ``repro.resilience``
     Crash-safety toolkit: fault injection, retry with backoff, and the
     ``repro resilience-bench`` kill/resume harness.

@@ -9,6 +9,7 @@ Four subcommands cover the common workflows end to end::
     python -m repro monitor-bench    --scale 0.02 --jobs 24 --challenger good
     python -m repro resilience-bench --scale 0.01 --mtbf-epochs 2
     python -m repro store-bench      --quick --out BENCH_store.json
+    python -m repro fleet-bench      --quick --out BENCH_fleet.json
 
 All commands are deterministic for a given ``--seed`` (``serve-bench`` and
 ``monitor-bench`` wall-clock throughput varies with the machine; every
@@ -210,6 +211,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_store.add_argument("--out", default="BENCH_store.json",
                          help="output path for the bench JSON "
                               "(default: BENCH_store.json)")
+
+    p_fleet = sub.add_parser(
+        "fleet-bench",
+        help="drive seeded fleet traffic through 1/2/4/8 workers behind "
+             "the consistent-hash router, crash a worker mid-run, and "
+             "gate routing determinism, post-failover emission parity, "
+             "ring churn bounds, throughput scaling, and autoscaling",
+    )
+    p_fleet.add_argument("--seed", type=int, default=2022,
+                         help="simulation/replay seed (default 2022)")
+    p_fleet.add_argument("--scale", type=float, default=0.02,
+                         help="trials_scale of the simulated release the "
+                              "parity model trains on")
+    p_fleet.add_argument("--jobs", type=int, default=32,
+                         help="concurrent simulated job streams (default 32)")
+    p_fleet.add_argument("--trees", type=int, default=30,
+                         help="random-forest size for the parity model")
+    p_fleet.add_argument("--workers", type=int, nargs="+",
+                         default=[1, 2, 4, 8],
+                         help="worker counts the scaling gate sweeps "
+                              "(must include 1 and 4; default: 1 2 4 8)")
+    p_fleet.add_argument("--capacity", type=int, default=4,
+                         help="ingress chunks each worker serves per tick "
+                              "(the capacity model; default 4)")
+    p_fleet.add_argument("--kill-tick", type=int, default=12,
+                         help="tick at which the victim worker crashes "
+                              "(default 12)")
+    p_fleet.add_argument("--quick", action="store_true",
+                         help="CI smoke: stub model over synthetic "
+                              "telemetry, shorter streams, 1/2/4 workers")
+    p_fleet.add_argument("--out", default="BENCH_fleet.json",
+                         help="output path for the bench JSON "
+                              "(default: BENCH_fleet.json)")
     return parser
 
 
@@ -502,6 +536,38 @@ def _cmd_store_bench(args) -> int:
     return 0
 
 
+def _cmd_fleet_bench(args) -> int:
+    from repro.fleet.bench import FleetBenchConfig, run_fleet_bench
+    from repro.perf import write_bench_json
+
+    if args.quick:
+        config = FleetBenchConfig.quick(
+            seed=args.seed, kill_tick=min(args.kill_tick, 6),
+        )
+    else:
+        config = FleetBenchConfig(
+            seed=args.seed,
+            scale=args.scale,
+            trees=args.trees,
+            n_jobs=args.jobs,
+            worker_counts=tuple(args.workers),
+            capacity_per_step=args.capacity,
+            kill_tick=args.kill_tick,
+        )
+    report = run_fleet_bench(config)
+    if report.fit_seconds:
+        print(f"trained rf_cov({config.trees} trees) parity model in "
+              f"{report.fit_seconds:.1f}s\n")
+    print(report.format())
+    path = write_bench_json(args.out, report.results)
+    print(f"\n# {path}")
+    for result in report.results:
+        print(f"  {result}")
+    verdict = "ok" if report.ok else "VIOLATED"
+    print(f"fleet verdict: {verdict} ({report.wall_seconds:.1f}s)")
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -514,6 +580,7 @@ def main(argv: list[str] | None = None) -> int:
         "resilience-bench": _cmd_resilience_bench,
         "perf-bench": _cmd_perf_bench,
         "store-bench": _cmd_store_bench,
+        "fleet-bench": _cmd_fleet_bench,
     }
     return handlers[args.command](args)
 

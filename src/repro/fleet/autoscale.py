@@ -1,0 +1,157 @@
+"""Metrics-driven autoscaling: grow/shrink the fleet from load signals.
+
+The control loop is the same debounced-threshold shape as
+:class:`~repro.monitor.alerts.AlertManager`: a raw signal (queue depth
+per worker) is compared against high/low watermarks, a breach must
+persist for ``for_ticks`` consecutive observations before acting
+(single-tick spikes are noise, not load), and every action starts a
+``cooldown_ticks`` refractory window so the loop cannot thrash — the
+fleet must absorb one resize (and its session migrations, each a
+history-replay rebuild) before the next is considered.
+
+Scale-up spawns workers through a caller-supplied factory and joins them
+via :meth:`~repro.fleet.router.FleetRouter.add_worker`; scale-down
+retires the *newest* worker (join order) through
+:meth:`~repro.fleet.router.FleetRouter.remove_worker`, so the
+operator-seeded baseline fleet is the last to go.  Both paths are the
+lossless migration paths the bench gates — autoscaling never costs an
+emission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AutoscaleConfig", "AutoscaleDecision", "Autoscaler"]
+
+
+@dataclass(frozen=True)
+class AutoscaleConfig:
+    """Thresholds and debounce shape for the autoscaling loop.
+
+    ``high_queue_per_worker`` / ``low_queue_per_worker`` are watermarks
+    on mean ingress queue depth per live worker — the direct measure of
+    how far offered load exceeds serving capacity.  ``for_ticks`` is the
+    debounce streak; ``cooldown_ticks`` the post-action refractory
+    window.  Worker count is clamped to ``[min_workers, max_workers]``.
+    """
+
+    min_workers: int = 1
+    max_workers: int = 8
+    high_queue_per_worker: float = 8.0
+    low_queue_per_worker: float = 1.0
+    for_ticks: int = 3
+    cooldown_ticks: int = 5
+
+    def __post_init__(self):
+        if self.min_workers < 1:
+            raise ValueError(f"min_workers must be >= 1, got {self.min_workers}")
+        if self.max_workers < self.min_workers:
+            raise ValueError(
+                f"max_workers ({self.max_workers}) < min_workers "
+                f"({self.min_workers})"
+            )
+        if self.low_queue_per_worker >= self.high_queue_per_worker:
+            raise ValueError(
+                "low_queue_per_worker must be below high_queue_per_worker "
+                f"(got {self.low_queue_per_worker} >= {self.high_queue_per_worker})"
+            )
+        if self.for_ticks < 1:
+            raise ValueError(f"for_ticks must be >= 1, got {self.for_ticks}")
+        if self.cooldown_ticks < 0:
+            raise ValueError(
+                f"cooldown_ticks must be >= 0, got {self.cooldown_ticks}"
+            )
+
+
+@dataclass(frozen=True)
+class AutoscaleDecision:
+    """One scaling action, for the bench report and tests."""
+
+    tick: int                   # observation count when the action fired
+    action: str                 # "scale-up" | "scale-down"
+    worker_id: str              # the worker spawned or retired
+    queue_per_worker: float     # the signal value that triggered it
+    n_workers: int              # fleet size *after* the action
+
+
+class Autoscaler:
+    """Debounced queue-depth controller over a :class:`FleetRouter`.
+
+    Parameters
+    ----------
+    router:
+        The fleet to resize.
+    spawn:
+        ``spawn(worker_id) -> worker`` factory for scale-up; must return
+        a worker on the fleet's shared clock.  Spawned workers are named
+        ``auto-1``, ``auto-2``, ... so bench traces read cleanly.
+    config:
+        :class:`AutoscaleConfig` thresholds.
+    """
+
+    def __init__(self, router, spawn, *, config: AutoscaleConfig | None = None):
+        self.router = router
+        self.spawn = spawn
+        self.config = config or AutoscaleConfig()
+        self.decisions: list[AutoscaleDecision] = []
+        self._tick = 0
+        self._high_streak = 0
+        self._low_streak = 0
+        self._cooldown = 0
+        self._spawned = 0
+
+    @property
+    def queue_per_worker(self) -> float:
+        """The raw control signal: mean ingress queue depth per worker."""
+        n = self.router.n_workers
+        return self.router.queue_depth / n if n else 0.0
+
+    def tick(self) -> AutoscaleDecision | None:
+        """One control-loop observation; returns the action taken, if any.
+
+        Call once per fleet tick (typically from the load generator's
+        ``on_tick`` hook).  Breach streaks keep accumulating during
+        cooldown, so a persistent overload acts the moment the window
+        closes rather than re-earning its debounce.
+        """
+        cfg = self.config
+        self._tick += 1
+        signal = self.queue_per_worker
+        if signal >= cfg.high_queue_per_worker:
+            self._high_streak += 1
+            self._low_streak = 0
+        elif signal <= cfg.low_queue_per_worker:
+            self._low_streak += 1
+            self._high_streak = 0
+        else:
+            self._high_streak = 0
+            self._low_streak = 0
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return None
+        n = self.router.n_workers
+        if self._high_streak >= cfg.for_ticks and n < cfg.max_workers:
+            self._spawned += 1
+            worker = self.spawn(f"auto-{self._spawned}")
+            self.router.add_worker(worker)
+            return self._acted("scale-up", worker.worker_id, signal)
+        if self._low_streak >= cfg.for_ticks and n > cfg.min_workers:
+            worker_id = self.router.worker_ids[-1]   # newest joins go first
+            self.router.remove_worker(worker_id)
+            return self._acted("scale-down", worker_id, signal)
+        return None
+
+    def _acted(self, action: str, worker_id: str, signal: float) -> AutoscaleDecision:
+        self._high_streak = 0
+        self._low_streak = 0
+        self._cooldown = self.config.cooldown_ticks
+        decision = AutoscaleDecision(
+            tick=self._tick,
+            action=action,
+            worker_id=worker_id,
+            queue_per_worker=signal,
+            n_workers=self.router.n_workers,
+        )
+        self.decisions.append(decision)
+        return decision

@@ -1,0 +1,567 @@
+"""The ``repro fleet-bench`` harness: gates the fleet's core promises.
+
+Every claim the fleet tier makes is asserted here, not eyeballed, and a
+violated gate turns into a nonzero CLI exit:
+
+1. **Routing determinism** — two fresh replays of the same seeded
+   traffic, each with the same worker killed mid-run, produce the same
+   emission sequence and the same failover timeline, bit for bit.
+2. **Failover parity** — a fleet that loses a worker mid-run emits, per
+   job, exactly the predictions of an unfailed twin (same
+   ``sample_index`` / ``label`` / ``smoothed_label`` / ``confidence``),
+   because the dead worker's sessions are rebuilt by history replay.
+   Both runs must be shed-free — lost telemetry breaks bit-parity by
+   definition (see :mod:`repro.fleet.failover`).
+3. **Ring churn** — adding a worker to an ``n``-worker ring moves keys
+   only *onto* it, within ``churn_bound_factor`` of the ideal
+   ``1/(n+1)`` fraction; removing it restores the exact prior owners.
+4. **Throughput scaling** — with per-worker serving capacity fixed,
+   fleet goodput (windows emitted *inside* the replay horizon; the final
+   unbounded drain does not count) must scale near-linearly:
+   ``goodput(4 workers) >= min_scaling_ratio * goodput(1 worker)``.
+   This is a *capacity-model* gate — workers serve at most
+   ``capacity_per_step`` chunks per tick on the simulated clock — so it
+   measures the control plane, not the host's core count, and holds on a
+   1-CPU CI runner.
+5. **Autoscaling** — a one-worker fleet under the same saturating load
+   must scale itself up (debounced, bounded), emit every delivered
+   window exactly once despite the mid-run migrations, and scale back
+   down once the load subsides.
+
+The scaling/autoscale scenarios use a trivial threshold model (the cost
+model is per-step capacity, not model FLOPs); parity scenarios default
+to the real RF+Cov champion over simulated telemetry so "bit-identical
+predictions" means the actual model, not a toy.  ``--quick`` swaps the
+stub in everywhere and shrinks the replay for CI smoke.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fleet.autoscale import AutoscaleConfig, Autoscaler
+from repro.fleet.ring import HashRing
+from repro.fleet.router import FleetRouter
+from repro.fleet.worker import FleetWorker
+from repro.perf.harness import BenchResult
+from repro.resilience.faults import FaultSpec, inject
+from repro.serve.loadgen import FleetLoadGenerator, SimulatedClock
+from repro.serve.server import ServeConfig
+
+__all__ = [
+    "FleetBenchConfig",
+    "FleetBenchReport",
+    "run_fleet_bench",
+    "emission_trace",
+]
+
+
+class _ThresholdModel:
+    """Deterministic O(1)-per-window model for capacity-model scenarios.
+
+    Classifies each window independently from a fixed threshold on mean
+    GPU utilization — batch composition cannot affect any prediction,
+    which is what routing determinism and failover parity rely on.
+    Module-level so subprocess workers can unpickle it.
+    """
+
+    def predict(self, X):
+        """Label 1 where the window's mean sensor-0 reading exceeds 50."""
+        X = np.asarray(X)
+        return (X[:, :, 0].mean(axis=1) > 50.0).astype(np.int64)
+
+
+def emission_trace(emissions) -> dict:
+    """Per-job parity trace: the fields that must survive a failover.
+
+    Maps ``job_id`` to the ordered list of
+    ``(sample_index, label, smoothed_label, confidence)`` tuples.
+    Latency and cross-job interleaving are excluded on purpose: a
+    failover legitimately changes *when* a recovered window emits, never
+    *what* it says.
+    """
+    out: dict = {}
+    for emission in emissions:
+        p = emission.prediction
+        out.setdefault(emission.job_id, []).append(
+            (int(p.sample_index), int(p.label),
+             int(p.smoothed_label), float(p.confidence))
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class FleetBenchConfig:
+    """Everything one ``repro fleet-bench`` run needs."""
+
+    # offline: simulation + model ("rf" trains the champion; "stub" uses
+    # the threshold model over synthetic telemetry — the --quick path)
+    seed: int = 2022
+    scale: float = 0.02
+    trees: int = 30
+    model: str = "rf"                   # "rf" | "stub"
+    # fleet replay shape
+    n_jobs: int = 32
+    samples_per_tick: int = 90
+    max_samples_per_job: int = 2700     # 5 min at 9 Hz -> 30 chunks/job
+    vnodes: int = 128
+    # determinism / failover scenarios
+    parity_workers: int = 4
+    kill_tick: int = 12
+    # ring churn scenario
+    churn_keys: int = 2000
+    churn_sizes: tuple = (2, 4, 8)
+    churn_bound_factor: float = 2.0
+    # throughput scaling scenario
+    worker_counts: tuple = (1, 2, 4, 8)
+    capacity_per_step: int = 4
+    min_scaling_ratio: float = 3.0
+    # autoscale scenario
+    autoscale_max_workers: int = 4
+    autoscale_high: float = 8.0
+    autoscale_low: float = 1.0
+    autoscale_for_ticks: int = 2
+    autoscale_cooldown: int = 3
+
+    def __post_init__(self):
+        if self.model not in ("rf", "stub"):
+            raise ValueError(f"model must be 'rf' or 'stub', got {self.model!r}")
+        if 4 not in self.worker_counts or 1 not in self.worker_counts:
+            raise ValueError(
+                "worker_counts must include 1 and 4 (the scaling gate "
+                f"compares them), got {self.worker_counts}"
+            )
+
+    @classmethod
+    def quick(cls, **overrides) -> "FleetBenchConfig":
+        """The CI smoke shape: stub model, short streams, one kill."""
+        defaults = dict(
+            model="stub",
+            n_jobs=24,
+            max_samples_per_job=1800,   # 20 chunks/job
+            kill_tick=6,
+            churn_keys=500,
+            worker_counts=(1, 2, 4),
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+
+@dataclass
+class FleetBenchReport:
+    """Outcome of one fleet-bench run; ``ok`` is the CI verdict."""
+
+    config: FleetBenchConfig
+    # 1. routing determinism
+    deterministic: bool = False
+    # 2. failover parity
+    parity_ok: bool = False
+    shed_free: bool = False
+    n_failovers: int = 0
+    n_recovered: int = 0
+    killed_worker: str = ""
+    # 3. ring churn
+    churn_ok: bool = False
+    churn: dict = field(default_factory=dict)      # "add@n" -> fraction moved
+    # 4. throughput scaling
+    scaling_ok: bool = False
+    goodput: dict = field(default_factory=dict)    # workers -> in-horizon windows
+    scaling_ratio: float = float("nan")
+    # 5. autoscaling
+    autoscale_ok: bool = False
+    lossless: bool = False
+    n_scale_ups: int = 0
+    n_scale_downs: int = 0
+    peak_workers: int = 0
+    # artifacts
+    results: list = field(default_factory=list)    # BenchResult entries
+    fit_seconds: float = 0.0
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when every fleet invariant held."""
+        return (
+            self.deterministic
+            and self.parity_ok
+            and self.shed_free
+            and self.n_failovers >= 1
+            and self.n_recovered >= 1    # the kill destroyed in-flight work
+            and self.churn_ok
+            and self.scaling_ok
+            and self.autoscale_ok
+            and self.lossless
+        )
+
+    def format(self) -> str:
+        """Human-readable pass/fail table (the CLI's output)."""
+        def mark(flag: bool) -> str:
+            return "PASS" if flag else "FAIL"
+
+        churn = ", ".join(
+            f"{name} {frac:.3f}" for name, frac in sorted(self.churn.items())
+        )
+        goodput = ", ".join(
+            f"{w}w {n}" for w, n in sorted(self.goodput.items())
+        )
+        lines = [
+            f"[{mark(self.deterministic)}] killed-fleet replay is "
+            "deterministic (two fresh runs, identical emissions + timeline)",
+            f"[{mark(self.parity_ok)}] post-failover emissions bit-identical "
+            f"to unfailed twin ({self.n_failovers} failover(s) of "
+            f"{self.killed_worker or '?'}, {self.n_recovered} emission(s) "
+            "recovered by replay)",
+            f"[{mark(self.shed_free)}] parity runs shed-free "
+            "(lost telemetry would void bit-parity)",
+            f"[{mark(self.churn_ok)}] ring churn within "
+            f"{self.config.churn_bound_factor:g}x of ideal 1/(n+1), "
+            f"add-only moves onto the new worker ({churn})",
+            f"[{mark(self.scaling_ok)}] goodput scales near-linearly "
+            f"({goodput}; 4w/1w = {self.scaling_ratio:.2f}x, "
+            f"gate >= {self.config.min_scaling_ratio:g}x)",
+            f"[{mark(self.autoscale_ok)}] autoscaler grew the fleet under "
+            f"load and shrank it after ({self.n_scale_ups} up / "
+            f"{self.n_scale_downs} down, peak {self.peak_workers} workers)",
+            f"[{mark(self.lossless)}] autoscaled run emitted every delivered "
+            "window exactly once across all migrations",
+        ]
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# offline setup
+
+def _train_model(config: FleetBenchConfig):
+    """Simulate a release and fit the RF+Cov champion (the CLI default)."""
+    from repro.data import build_challenge_suite
+    from repro.data.labelled import build_labelled_dataset
+    from repro.models import make_rf_cov
+    from repro.simcluster.cluster import SimulationConfig
+
+    sim = SimulationConfig(seed=config.seed, trials_scale=config.scale)
+    labelled = build_labelled_dataset(sim)
+    suite = build_challenge_suite(labelled, seed=config.seed,
+                                  names=("60-random-1",))
+    ds = suite["60-random-1"]
+    model = make_rf_cov(n_estimators=config.trees, random_state=0)
+    model.fit(ds.X_train, ds.y_train)
+    window = ds.n_samples
+    eligible = labelled.eligible(window)
+    series = [t.series for t in eligible.trials]
+    labels = [t.label for t in eligible.trials]
+    return model, window, series, labels
+
+
+def _synth_series(config: FleetBenchConfig, n_series: int = 8):
+    """Seeded synthetic telemetry for stub-model scenarios (no simulation)."""
+    rng = np.random.default_rng(config.seed)
+    series = [
+        rng.random((config.max_samples_per_job, 7)) * 100.0
+        for _ in range(n_series)
+    ]
+    labels = [i % 2 for i in range(n_series)]
+    return series, labels
+
+
+# ----------------------------------------------------------------------
+# fleet factories
+
+def _generator(config: FleetBenchConfig, series, labels,
+               clock: SimulatedClock) -> FleetLoadGenerator:
+    return FleetLoadGenerator(
+        series, labels,
+        n_jobs=config.n_jobs,
+        samples_per_tick=config.samples_per_tick,
+        max_samples_per_job=config.max_samples_per_job,
+        seed=config.seed,
+        clock=clock,
+    )
+
+
+def _fleet(config: FleetBenchConfig, model, serve_config, gen,
+           n_workers: int, *, capacity=None) -> FleetRouter:
+    clock = gen.clock
+    workers = [
+        FleetWorker(f"w{i}", model, serve_config, clock=clock,
+                    capacity_per_step=capacity)
+        for i in range(n_workers)
+    ]
+    return FleetRouter(workers, clock=clock, history=gen.job_stream,
+                       vnodes=config.vnodes)
+
+
+# ----------------------------------------------------------------------
+# scenarios
+
+def _replay(config: FleetBenchConfig, model, window, series, labels,
+            *, kill: bool):
+    """One parity-shaped replay; optionally crashes a worker mid-run.
+
+    The crash goes through the ``fleet.worker.crash`` fault point, timed
+    to fire at the top of the victim's step on ``kill_tick`` — after that
+    tick's chunks were routed to it but *before* it serves them, so the
+    kill always destroys in-flight work that only history replay can
+    recover.  (Workers step in sorted-id order, one crash point hit each,
+    so hit ``tick * n_workers + sorted_index + 1`` is that exact moment.)
+    """
+    clock = SimulatedClock()
+    gen = _generator(config, series, labels, clock)
+    serve_config = ServeConfig(window=window, hop=min(90, window))
+    router = _fleet(config, model, serve_config, gen, config.parity_workers)
+    victim = router.owner_of(0)         # always owns at least one job
+    if kill:
+        idx = sorted(router.worker_ids).index(victim)
+        at_hit = config.kill_tick * config.parity_workers + idx + 1
+        ctx = inject(
+            FaultSpec("fleet.worker.crash", at_hit=at_hit, mode="raise"))
+    else:
+        ctx = contextlib.nullcontext()
+    with ctx:
+        tic = time.perf_counter()
+        report = gen.run(router)
+        wall = time.perf_counter() - tic
+    shed = router.fleet_metrics().counter("ingress.shed").value
+    return report, router, victim, shed, wall
+
+
+def _parity_scenarios(config, model, window, series, labels,
+                      report: FleetBenchReport) -> None:
+    """Scenarios 1 + 2: determinism of the killed replay, parity vs twin."""
+    killed_a, router_a, victim, shed_a, wall = _replay(
+        config, model, window, series, labels, kill=True)
+    killed_b, router_b, _, _, _ = _replay(
+        config, model, window, series, labels, kill=True)
+    clean, _, _, shed_clean, _ = _replay(
+        config, model, window, series, labels, kill=False)
+
+    def full_sequence(rep):
+        return [
+            (e.job_id, int(e.prediction.sample_index),
+             int(e.prediction.label), int(e.prediction.smoothed_label),
+             float(e.prediction.confidence))
+            for e in rep.emissions
+        ]
+
+    def timeline(router):
+        return [
+            (ev.at_s, ev.kind, ev.worker_id, ev.n_jobs, ev.n_recovered)
+            for ev in router.events
+        ]
+
+    report.deterministic = (
+        full_sequence(killed_a) == full_sequence(killed_b)
+        and timeline(router_a) == timeline(router_b)
+    )
+    report.parity_ok = emission_trace(killed_a.emissions) == emission_trace(
+        clean.emissions)
+    report.shed_free = shed_a == 0 and shed_clean == 0
+    report.killed_worker = victim
+    failovers = [ev for ev in router_a.events if ev.kind == "failover"]
+    report.n_failovers = len(failovers)
+    report.n_recovered = sum(ev.n_recovered for ev in failovers)
+    report.results.append(BenchResult(
+        bench="fleet.failover",
+        config={
+            "workers": config.parity_workers,
+            "kill_tick": config.kill_tick,
+            "n_jobs": config.n_jobs,
+            "model": config.model,
+            "recovered": report.n_recovered,
+        },
+        samples_per_s=(len(killed_a.emissions) / wall) if wall > 0 else 0.0,
+        p50_s=wall,
+        p95_s=wall,
+    ))
+
+
+def _churn_scenario(config: FleetBenchConfig, report: FleetBenchReport) -> None:
+    """Scenario 3: resize churn bounds + exact add/remove invariants."""
+    keys = [f"job-{i}" for i in range(config.churn_keys)]
+    ok = True
+    for n in config.churn_sizes:
+        ring = HashRing([f"w{i}" for i in range(n)], vnodes=config.vnodes)
+        before = ring.owners(keys)
+        ring.add("w-new")
+        after = ring.owners(keys)
+        churn = HashRing.churn(before, after)
+        report.churn[f"add@{n}"] = churn
+        moved_onto_new = all(
+            after[key] == "w-new"
+            for key in keys if after[key] != before[key]
+        )
+        ok &= moved_onto_new and churn <= config.churn_bound_factor / (n + 1)
+        ring.remove("w-new")
+        ok &= ring.owners(keys) == before   # exact restoration
+    report.churn_ok = ok
+
+
+def _scaling_serve_config(config: FleetBenchConfig) -> ServeConfig:
+    # window == hop == chunk size: every served chunk completes exactly
+    # one window, so goodput counts served chunks and the capacity model
+    # is exact.  Zero flush deadline keeps emission in the serving tick.
+    return ServeConfig(
+        window=config.samples_per_tick,
+        hop=config.samples_per_tick,
+        flush_deadline_s=0.0,
+    )
+
+
+def _scaling_scenario(config, series, labels, report: FleetBenchReport) -> None:
+    """Scenario 4: goodput vs worker count under fixed per-worker capacity."""
+    serve_config = _scaling_serve_config(config)
+    for n_workers in config.worker_counts:
+        clock = SimulatedClock()
+        gen = _generator(config, series, labels, clock)
+        router = _fleet(config, _ThresholdModel(), serve_config, gen,
+                        n_workers, capacity=config.capacity_per_step)
+        goodput = 0
+
+        def on_tick(tick, emissions):
+            nonlocal goodput
+            goodput += len(emissions)
+
+        tic = time.perf_counter()
+        gen.run(router, on_tick=on_tick)
+        wall = time.perf_counter() - tic
+        report.goodput[n_workers] = goodput
+        report.results.append(BenchResult(
+            bench=f"fleet.scaling.w{n_workers}",
+            config={
+                "workers": n_workers,
+                "capacity_per_step": config.capacity_per_step,
+                "n_jobs": config.n_jobs,
+                "goodput_windows": goodput,
+            },
+            samples_per_s=(goodput / wall) if wall > 0 else 0.0,
+            p50_s=wall,
+            p95_s=wall,
+        ))
+    base = report.goodput.get(1, 0)
+    report.scaling_ratio = (
+        report.goodput.get(4, 0) / base if base else float("nan")
+    )
+    report.scaling_ok = (
+        base > 0 and report.scaling_ratio >= config.min_scaling_ratio
+    )
+
+
+def _expected_windows(gen: FleetLoadGenerator, window: int) -> list:
+    """Every ``(job, sample_index)`` the replay is obliged to emit."""
+    expected = []
+    for job in range(gen.n_jobs):
+        n = gen.job_stream(job).shape[0]
+        # sample_index is the samples-consumed count at emission (k*window).
+        for k in range(n // window):
+            expected.append((job, (k + 1) * window))
+    return sorted(expected)
+
+
+def _autoscale_scenario(config, series, labels,
+                        report: FleetBenchReport) -> None:
+    """Scenario 5: self-scaling under load, exactly-once across migrations."""
+    serve_config = _scaling_serve_config(config)
+    clock = SimulatedClock()
+    gen = _generator(config, series, labels, clock)
+
+    def spawn(worker_id):
+        return FleetWorker(worker_id, _ThresholdModel(), serve_config,
+                           clock=clock,
+                           capacity_per_step=config.capacity_per_step)
+
+    router = FleetRouter([spawn("w0")], clock=clock, history=gen.job_stream,
+                         vnodes=config.vnodes)
+    scaler = Autoscaler(router, spawn, config=AutoscaleConfig(
+        min_workers=1,
+        max_workers=config.autoscale_max_workers,
+        high_queue_per_worker=config.autoscale_high,
+        low_queue_per_worker=config.autoscale_low,
+        for_ticks=config.autoscale_for_ticks,
+        cooldown_ticks=config.autoscale_cooldown,
+    ))
+    peak = 1
+
+    def on_tick(tick, emissions):
+        nonlocal peak
+        scaler.tick()
+        peak = max(peak, router.n_workers)
+
+    load = gen.run(router, end_sessions=False, on_tick=on_tick)
+    shed = router.fleet_metrics().counter("ingress.shed").value
+    # Load is gone (run() drained); idle ticks must shrink the fleet back.
+    for _ in range(4 * (config.autoscale_for_ticks
+                        + config.autoscale_cooldown
+                        + config.autoscale_max_workers)):
+        router.step()
+        scaler.tick()
+        clock.advance(gen.tick_s)
+        if router.n_workers == 1:
+            break
+    for job in range(gen.n_jobs):
+        router.end_session(job)
+
+    report.n_scale_ups = sum(
+        1 for d in scaler.decisions if d.action == "scale-up")
+    report.n_scale_downs = sum(
+        1 for d in scaler.decisions if d.action == "scale-down")
+    report.peak_workers = peak
+    report.autoscale_ok = (
+        report.n_scale_ups >= 1
+        and report.n_scale_downs >= 1
+        and peak <= config.autoscale_max_workers
+        and router.n_workers == 1
+    )
+    emitted = sorted(
+        (e.job_id, int(e.prediction.sample_index)) for e in load.emissions
+    )
+    report.lossless = (
+        shed == 0
+        and emitted == _expected_windows(gen, config.samples_per_tick)
+    )
+
+
+# ----------------------------------------------------------------------
+
+def run_fleet_bench(
+    config: FleetBenchConfig | None = None,
+    *,
+    model=None,
+    window: int | None = None,
+    series=None,
+    labels=None,
+) -> FleetBenchReport:
+    """Run every fleet scenario; see :class:`FleetBenchReport` for verdicts.
+
+    With no model given, ``config.model`` picks the parity model: ``"rf"``
+    simulates a release and trains the RF+Cov champion (the CLI default),
+    ``"stub"`` uses the threshold model over synthetic telemetry (the
+    ``--quick`` path).  Tests inject a prefitted ``model`` plus
+    ``window``/``series``/``labels`` to skip the training cost.
+    """
+    config = config or FleetBenchConfig()
+    report = FleetBenchReport(config=config)
+    tic = time.perf_counter()
+    if model is None:
+        if config.model == "rf":
+            fit_tic = time.perf_counter()
+            model, window, series, labels = _train_model(config)
+            report.fit_seconds = time.perf_counter() - fit_tic
+        else:
+            model = _ThresholdModel()
+            window = config.samples_per_tick
+            series, labels = _synth_series(config)
+    if window is None or series is None:
+        raise ValueError(
+            "window and series must be provided when a model is injected"
+        )
+    _parity_scenarios(config, model, window, series, labels, report)
+    _churn_scenario(config, report)
+    # Capacity-model scenarios always run the stub (the cost model is
+    # per-step capacity, not model FLOPs) over the same telemetry.
+    _scaling_scenario(config, series, labels, report)
+    _autoscale_scenario(config, series, labels, report)
+    report.wall_seconds = time.perf_counter() - tic
+    return report

@@ -1,0 +1,79 @@
+"""Heartbeat/lease failure detection for fleet workers.
+
+Large-cluster reliability studies (Kokolis et al., 2024) make worker
+death the steady state, not the exception — so the control plane never
+*asks* a worker whether it is alive, it watches for the absence of
+proof.  Every worker step records a heartbeat; a worker whose last beat
+is older than ``lease_s`` on the shared clock has lost its lease and is
+declared dead, and the router reassigns its ring span.
+
+Two failure modes are deliberately distinct, and both are injectable
+(see :mod:`repro.resilience`):
+
+* ``fleet.worker.crash`` — the worker actually dies (raises, or its
+  subprocess is SIGKILLed).  The router notices synchronously on the
+  next call into it.
+* ``fleet.heartbeat.drop`` — the worker is healthy but its heartbeat is
+  lost in transit.  Nothing fails synchronously; only the lease expiry
+  catches it, which is exactly what this module is for (and dropping
+  fewer consecutive beats than the lease covers must *not* trigger a
+  spurious failover — pinned by tests).
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["HeartbeatMonitor"]
+
+
+class HeartbeatMonitor:
+    """Tracks per-worker lease expiry on an injectable clock.
+
+    Parameters
+    ----------
+    lease_s:
+        Seconds of heartbeat silence after which a worker is declared
+        dead.  On the simulated clock this is ``lease_s / tick_s`` missed
+        ticks.
+    clock:
+        Shared monotonic time source (the fleet's ``SimulatedClock`` in
+        tests and benches, ``time.monotonic`` live).
+    """
+
+    def __init__(self, *, lease_s: float, clock=time.monotonic):
+        if lease_s <= 0:
+            raise ValueError(f"lease_s must be positive, got {lease_s}")
+        self.lease_s = float(lease_s)
+        self.clock = clock
+        self._last_beat: dict[str, float] = {}
+
+    def register(self, worker_id: str) -> None:
+        """Start tracking ``worker_id``; registration counts as a beat."""
+        self._last_beat[str(worker_id)] = self.clock()
+
+    def deregister(self, worker_id: str) -> None:
+        """Stop tracking ``worker_id`` (dead or scaled away)."""
+        self._last_beat.pop(str(worker_id), None)
+
+    def beat(self, worker_id: str) -> None:
+        """Record a heartbeat; unknown workers are auto-registered."""
+        self._last_beat[str(worker_id)] = self.clock()
+
+    def last_beat(self, worker_id: str) -> float | None:
+        """Clock time of the last beat (None when untracked)."""
+        return self._last_beat.get(str(worker_id))
+
+    def expired(self) -> list[str]:
+        """Workers whose lease has lapsed, in registration order."""
+        now = self.clock()
+        return [
+            worker_id
+            for worker_id, beat in self._last_beat.items()
+            if now - beat > self.lease_s
+        ]
+
+    @property
+    def tracked(self) -> list[str]:
+        """Every tracked worker id, sorted."""
+        return sorted(self._last_beat)

@@ -1,0 +1,385 @@
+"""The fleet ingress tier: consistent-hash routing, failover, aggregation.
+
+:class:`FleetRouter` presents the same surface as a single
+:class:`~repro.serve.server.InferenceServer` (``submit`` / ``step`` /
+``drain`` / ``end_session`` — the :class:`~repro.serve.FleetLoadGenerator`
+drives it unchanged) but fans the work across N workers:
+
+* **Routing** — each chunk goes to ``ring.owner(job_id)``; session
+  affinity falls out of hashing, no routing table to replicate.
+* **Failure handling** — a worker that raises
+  :class:`~repro.fleet.worker.WorkerUnavailable` (crashed, SIGKILLed
+  child) or whose heartbeat lease lapses is removed from the ring; its
+  jobs are re-owned by the survivors and their sessions rebuilt from
+  history replay (:class:`~repro.fleet.failover.SessionRebuilder`), so
+  post-recovery emissions are bit-identical to an unfailed run.
+* **Typed rejections** — a worker answering ``DRAINING`` is retired
+  (flushed, its sessions migrated) rather than treated as an error; an
+  overloaded worker's ``REJECTED`` is surfaced to the caller as ordinary
+  backpressure.
+* **Aggregation** — :meth:`fleet_metrics` merges every worker's registry
+  with the router's own (counters add, gauges sum, histogram
+  percentiles over the union of samples), giving the operator one
+  fleet-wide view — the signal the autoscaler consumes.
+
+Everything is synchronous and clock-injected; a fleet replay is
+deterministic for a fixed seed, which is what lets ``repro fleet-bench``
+gate routing determinism and failover parity bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.fleet.failover import FailoverEvent, SessionRebuilder
+from repro.fleet.ring import HashRing
+from repro.fleet.worker import WorkerUnavailable
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.server import Emission, SubmitResult
+
+__all__ = ["FleetRouter"]
+
+
+class FleetRouter:
+    """Route job streams across a resizable set of serving workers.
+
+    Parameters
+    ----------
+    workers:
+        Initial worker objects (:class:`~repro.fleet.worker.FleetWorker`
+        or :class:`~repro.fleet.worker.SubprocessWorker`); at least one.
+        All must share ``clock``.
+    clock:
+        The fleet's shared time source.
+    history:
+        Optional ``job_id -> full row array`` provider for failover
+        replay (see :class:`~repro.fleet.failover.SessionRebuilder`);
+        without it, failed-over sessions restart cold.
+    health:
+        Optional :class:`~repro.fleet.health.HeartbeatMonitor`.  The
+        router checks leases at the top of every :meth:`step` and fails
+        over expired workers; workers must be constructed with
+        ``heartbeat=health`` so their steps actually beat it.
+    vnodes / salt:
+        Hash-ring shape (see :class:`~repro.fleet.ring.HashRing`).
+    """
+
+    def __init__(
+        self,
+        workers,
+        *,
+        clock=time.monotonic,
+        history=None,
+        health=None,
+        vnodes: int = 128,
+        salt: str = "repro-fleet",
+    ):
+        workers = list(workers)
+        if not workers:
+            raise ValueError("need at least one worker")
+        self.clock = clock
+        self.health = health
+        self.metrics = MetricsRegistry()
+        self.rebuilder = SessionRebuilder(history)
+        self._workers: dict[str, object] = {}
+        self.ring = HashRing(vnodes=vnodes, salt=salt)
+        #: job -> current owning worker id (insertion-ordered: migration
+        #: and failover walk jobs in first-seen order, deterministically).
+        self._owner: dict[object, str] = {}
+        self._delivered: dict[object, int] = {}
+        #: job -> highest sample_index the fleet has actually emitted.
+        self._last_index: dict[object, int] = {}
+        self._buffer: list[Emission] = []
+        self.events: list[FailoverEvent] = []
+        for worker in workers:
+            if worker.worker_id in self._workers:
+                raise ValueError(f"duplicate worker id {worker.worker_id!r}")
+            self._workers[worker.worker_id] = worker
+            self.ring.add(worker.worker_id)
+            if self.health is not None:
+                self.health.register(worker.worker_id)
+        self.metrics.gauge("fleet.workers").set(len(self._workers))
+
+    # ------------------------------------------------------------------
+    # introspection
+    @property
+    def n_workers(self) -> int:
+        """Live workers behind the router."""
+        return len(self._workers)
+
+    @property
+    def worker_ids(self) -> list[str]:
+        """Live worker ids in join order (newest last)."""
+        return list(self._workers)
+
+    def worker(self, worker_id: str):
+        """The live worker object for ``worker_id`` (KeyError when gone)."""
+        return self._workers[worker_id]
+
+    @property
+    def queue_depth(self) -> int:
+        """Total chunks queued across live workers."""
+        total = 0
+        for worker in self._workers.values():
+            try:
+                total += worker.queue_depth
+            except WorkerUnavailable:
+                continue
+        return total
+
+    @property
+    def n_sessions(self) -> int:
+        """Total sessions resident across live workers."""
+        total = 0
+        for worker in self._workers.values():
+            try:
+                total += worker.n_sessions
+            except WorkerUnavailable:
+                continue
+        return total
+
+    def owner_of(self, job_id) -> str:
+        """The worker id currently owning ``job_id``'s session."""
+        worker_id = self._owner.get(job_id)
+        if worker_id is None or worker_id not in self._workers:
+            worker_id = self.ring.owner(job_id)
+            self._owner[job_id] = worker_id
+        return worker_id
+
+    def fleet_metrics(self) -> MetricsRegistry:
+        """Fleet-wide registry: the router's own + every worker's, merged."""
+        merged = MetricsRegistry().merge(self.metrics)
+        for worker_id in sorted(self._workers):
+            try:
+                merged.merge(self._workers[worker_id].metrics_registry())
+            except WorkerUnavailable:
+                continue
+        return merged
+
+    # ------------------------------------------------------------------
+    # ingress
+    def submit(self, job_id, samples) -> SubmitResult:
+        """Route one chunk to the owning worker, failing over on death.
+
+        A dead owner triggers an immediate failover (ring removal +
+        session rebuild) and the chunk retries on the new owner — the
+        caller never sees the crash.  ``REJECTED`` (overload) is returned
+        as-is: backpressure is the caller's signal, not a routing error.
+        """
+        samples = np.atleast_2d(np.asarray(samples))
+        for _ in range(len(self._workers) + 1):
+            worker_id = self.owner_of(job_id)
+            worker = self._workers[worker_id]
+            try:
+                result = worker.submit(job_id, samples)
+            except WorkerUnavailable:
+                self._on_worker_death(worker_id)
+                continue
+            if result is SubmitResult.DRAINING:
+                self.metrics.counter("fleet.rerouted.draining").inc()
+                self._handoff(worker_id, kind="drain")
+                continue
+            if result:
+                self.metrics.counter("fleet.chunks.routed").inc()
+                self._delivered[job_id] = (
+                    self._delivered.get(job_id, 0) + samples.shape[0]
+                )
+            else:
+                self.metrics.counter("fleet.chunks.rejected").inc()
+            return result
+        raise WorkerUnavailable("no live worker accepted the chunk")
+
+    # ------------------------------------------------------------------
+    # processing
+    def step(self) -> list[Emission]:
+        """One fleet tick: lease checks, then every worker steps.
+
+        Workers step in sorted-id order (determinism); any crash observed
+        mid-step fails over inline, and emissions recovered by the
+        resulting rebuilds are appended to this tick's output.
+        """
+        out = self._take_buffer()
+        if self.health is not None:
+            for worker_id in self.health.expired():
+                if worker_id in self._workers:
+                    self.metrics.counter("fleet.lease_expired").inc()
+                    self._on_worker_death(worker_id)
+        for worker_id in sorted(self._workers):
+            worker = self._workers.get(worker_id)
+            if worker is None:          # removed by an earlier failover
+                continue
+            try:
+                emissions = worker.step()
+            except WorkerUnavailable:
+                self._on_worker_death(worker_id)
+                continue
+            self._note(emissions)
+            out.extend(emissions)
+        out.extend(self._take_buffer())
+        return out
+
+    def drain(self) -> list[Emission]:
+        """Flush every worker (graceful fleet shutdown)."""
+        out = self._take_buffer()
+        for worker_id in sorted(self._workers):
+            try:
+                emissions = self._workers[worker_id].drain()
+            except WorkerUnavailable:
+                self._on_worker_death(worker_id)
+                continue
+            self._note(emissions)
+            out.extend(emissions)
+        out.extend(self._take_buffer())
+        return out
+
+    def end_session(self, job_id) -> bool:
+        """Forget ``job_id`` fleet-wide (stream finished)."""
+        worker_id = self._owner.pop(job_id, None)
+        self._delivered.pop(job_id, None)
+        self._last_index.pop(job_id, None)
+        if worker_id is not None and worker_id in self._workers:
+            try:
+                return self._workers[worker_id].end_session(job_id)
+            except WorkerUnavailable:
+                self._on_worker_death(worker_id)
+        return False
+
+    # ------------------------------------------------------------------
+    # membership
+    def add_worker(self, worker) -> list:
+        """Join a worker; migrate exactly the jobs its vnodes claim.
+
+        Consistent hashing guarantees every migrated job moves *to* the
+        new worker; each migration ends the session on its old (live)
+        owner and rebuilds it on the new one from history replay, so the
+        resize is emission-lossless.  Returns the migrated job ids.
+        """
+        worker_id = worker.worker_id
+        if worker_id in self._workers:
+            raise ValueError(f"worker {worker_id!r} already routed")
+        self._workers[worker_id] = worker
+        self.ring.add(worker_id)
+        if self.health is not None:
+            self.health.register(worker_id)
+        self.metrics.counter("fleet.scale.up").inc()
+        self.metrics.gauge("fleet.workers").set(len(self._workers))
+        moved = [
+            job for job, owner in self._owner.items()
+            if self.ring.owner(job) != owner
+        ]
+        recovered = 0
+        for job in moved:
+            source = self._workers.get(self._owner[job])
+            recovered += len(self._migrate(job, source=source))
+        self.events.append(FailoverEvent(
+            at_s=self.clock(), kind="scale-up", worker_id=worker_id,
+            n_jobs=len(moved), n_recovered=recovered,
+        ))
+        return moved
+
+    def remove_worker(self, worker_id: str):
+        """Gracefully retire a worker: flush, migrate, close.
+
+        The leaving replica drains first (its queued work emits here,
+        attributed normally), then every session it owned is rebuilt on
+        the survivors.  Returns the removed worker object.
+        """
+        if worker_id not in self._workers:
+            raise KeyError(f"worker {worker_id!r} not routed")
+        if len(self._workers) == 1:
+            raise ValueError("cannot remove the last worker")
+        worker = self._handoff(worker_id, kind="scale-down")
+        worker.close()
+        return worker
+
+    # ------------------------------------------------------------------
+    # internals
+    def _take_buffer(self) -> list[Emission]:
+        out, self._buffer = self._buffer, []
+        return out
+
+    def _note(self, emissions) -> None:
+        for emission in emissions:
+            index = emission.prediction.sample_index
+            if index > self._last_index.get(emission.job_id, -1):
+                self._last_index[emission.job_id] = index
+
+    def _jobs_owned_by(self, worker_id: str) -> list:
+        return [job for job, owner in self._owner.items() if owner == worker_id]
+
+    def _migrate(self, job, *, source) -> list[Emission]:
+        """Move one job to its current ring owner, rebuilding its session.
+
+        ``source`` is the job's previous worker when it is still alive
+        (scale events) — its session state is dropped first so a stale
+        replica can never emit for the job again; ``None`` when the
+        previous worker is already gone (failover).
+        """
+        if source is not None:
+            source.end_session(job)
+        new_worker_id = self.ring.owner(job)
+        emissions = self.rebuilder.rebuild(
+            job,
+            self._delivered.get(job, 0),
+            self._workers[new_worker_id],
+            emit_after_index=self._last_index.get(job, -1),
+        )
+        self._owner[job] = new_worker_id
+        self.metrics.counter("fleet.sessions.migrated").inc()
+        if emissions:
+            self.metrics.counter("fleet.predictions.recovered").inc(
+                len(emissions))
+            self._note(emissions)
+            self._buffer.extend(emissions)
+        return emissions
+
+    def _on_worker_death(self, worker_id: str) -> None:
+        """Abrupt failover: un-ring the dead worker, rebuild its jobs."""
+        self._workers.pop(worker_id)
+        self.ring.remove(worker_id)
+        if self.health is not None:
+            self.health.deregister(worker_id)
+        self.metrics.counter("fleet.failovers").inc()
+        self.metrics.gauge("fleet.workers").set(len(self._workers))
+        if not self._workers:
+            raise WorkerUnavailable(
+                f"last worker {worker_id!r} died; nothing to fail over to"
+            )
+        jobs = self._jobs_owned_by(worker_id)
+        recovered = sum(
+            len(self._migrate(job, source=None)) for job in jobs
+        )
+        self.events.append(FailoverEvent(
+            at_s=self.clock(), kind="failover", worker_id=worker_id,
+            n_jobs=len(jobs), n_recovered=recovered,
+        ))
+
+    def _handoff(self, worker_id: str, *, kind: str):
+        """Retire a live worker: drain it, migrate its jobs, un-ring it."""
+        worker = self._workers.pop(worker_id)
+        self.ring.remove(worker_id)
+        if self.health is not None:
+            self.health.deregister(worker_id)
+        self.metrics.counter("fleet.scale.down").inc()
+        self.metrics.gauge("fleet.workers").set(len(self._workers))
+        try:
+            emissions = worker.drain()
+            self._note(emissions)
+            self._buffer.extend(emissions)
+        except WorkerUnavailable:
+            pass                        # died while retiring; replay covers it
+        jobs = self._jobs_owned_by(worker_id)
+        recovered = 0
+        for job in jobs:
+            try:
+                worker.end_session(job)
+            except WorkerUnavailable:
+                pass
+            recovered += len(self._migrate(job, source=None))
+        self.events.append(FailoverEvent(
+            at_s=self.clock(), kind=kind, worker_id=worker_id,
+            n_jobs=len(jobs), n_recovered=recovered,
+        ))
+        return worker

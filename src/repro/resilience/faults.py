@@ -22,6 +22,8 @@ Instrumented points (grep for ``fault_point(`` to audit):
 ``store.wal.append``            half of one WAL record's bytes written
 ``store.segment.finalize``      segment data durable in tmp, before the rename
 ``store.manifest.swap``         segments finalized, before the manifest replace
+``fleet.worker.crash``          top of a fleet worker's step, before any work
+``fleet.heartbeat.drop``        a worker's heartbeat, dropped in transit
 ==============================  =================================================
 
 Injection is process-local and off by default; ``fault_point`` is a single
@@ -67,6 +69,8 @@ FAULT_POINTS = frozenset({
     "store.wal.append",
     "store.segment.finalize",
     "store.manifest.swap",
+    "fleet.worker.crash",
+    "fleet.heartbeat.drop",
 })
 
 

@@ -20,10 +20,15 @@ concurrent job streams, one model call per tick.
 """
 
 from repro.serve.batcher import BatchCompletion, MicroBatcher
-from repro.serve.loadgen import FleetLoadGenerator, LoadReport, SimulatedClock
+from repro.serve.loadgen import (
+    FleetLoadGenerator,
+    LoadReport,
+    ManualClock,
+    SimulatedClock,
+)
 from repro.serve.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.serve.registry import ModelRegistry
-from repro.serve.server import Emission, InferenceServer, ServeConfig
+from repro.serve.server import Emission, InferenceServer, ServeConfig, SubmitResult
 from repro.serve.session import StreamSession, WindowRequest
 
 __all__ = [
@@ -31,7 +36,9 @@ __all__ = [
     "MicroBatcher",
     "FleetLoadGenerator",
     "LoadReport",
+    "ManualClock",
     "SimulatedClock",
+    "SubmitResult",
     "Counter",
     "Gauge",
     "Histogram",

@@ -21,11 +21,19 @@ from repro.serve.server import Emission, InferenceServer
 from repro.simcluster.workload import DEFAULT_DT_S
 from repro.utils.rng import as_generator
 
-__all__ = ["SimulatedClock", "LoadReport", "FleetLoadGenerator"]
+__all__ = ["SimulatedClock", "ManualClock", "LoadReport", "FleetLoadGenerator"]
 
 
 class SimulatedClock:
-    """Manually advanced monotonic clock (callable like ``time.monotonic``)."""
+    """Manually advanced monotonic clock (callable like ``time.monotonic``).
+
+    One instance is meant to be *shared*: the load generator, every
+    server/worker, the fleet router, and heartbeat leases all read the
+    same ``clock()`` so batching deadlines, latencies, and failure
+    detection advance in lockstep.  Construct it once and pass it to
+    every component (``FleetLoadGenerator(..., clock=clock)``,
+    ``InferenceServer(..., clock=clock)``, …).
+    """
 
     def __init__(self, start_s: float = 0.0):
         self._now = float(start_s)
@@ -40,6 +48,23 @@ class SimulatedClock:
             raise ValueError(f"dt_s must be >= 0, got {dt_s}")
         self._now += dt_s
         return self._now
+
+    def advance_to(self, now_s: float) -> float:
+        """Move time forward to ``now_s`` (no-op when already past it).
+
+        Monotonic by construction — a subprocess fleet worker syncs its
+        local clock to the router's timestamp with this, and a late or
+        reordered message can never run time backwards.
+        """
+        if now_s > self._now:
+            self._now = float(now_s)
+        return self._now
+
+
+#: Historical name for :class:`SimulatedClock` — kept as an alias because
+#: "manual clock" is how the fleet docs/tests refer to the shared
+#: hand-advanced time source.
+ManualClock = SimulatedClock
 
 
 @dataclass
@@ -108,6 +133,14 @@ class FleetLoadGenerator:
         Replay-rate multiplier: ``2.0`` delivers the same rows in half
         the simulated time (tick duration divided by ``rate``).  Chunk
         contents and order are unaffected.
+    clock:
+        Shared :class:`SimulatedClock` driving the replay.  Historically
+        each generator built a private clock and every *other* component
+        defaulted to ``time.monotonic``, so wiring a router, workers,
+        and heartbeat timers onto one deterministic timeline meant
+        threading ``gen.clock`` around by hand after construction.  Pass
+        one clock instance here and to each component instead; ``None``
+        keeps the old behavior of creating a fresh clock.
     keep_dtype:
         Keep each series' own dtype instead of the historical float64
         coercion — required for zero-copy replay of float32 memmap views
@@ -131,6 +164,7 @@ class FleetLoadGenerator:
         stagger_ticks: int = 3,
         seed: int = 0,
         rate: float = 1.0,
+        clock: SimulatedClock | None = None,
         keep_dtype: bool = False,
         drift=None,
     ):
@@ -156,7 +190,7 @@ class FleetLoadGenerator:
         self.max_samples_per_job = max_samples_per_job
         self.rate = float(rate)
         self.tick_s = samples_per_tick * DEFAULT_DT_S / self.rate
-        self.clock = SimulatedClock()
+        self.clock = clock if clock is not None else SimulatedClock()
         rng = as_generator(seed)
         self._assignment = rng.integers(0, len(self.series), size=n_jobs)
         self._start_tick = rng.integers(0, stagger_ticks + 1, size=n_jobs)

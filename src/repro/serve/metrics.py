@@ -131,6 +131,31 @@ class Histogram:
             "max": self._max,
         }
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other``'s observations into this histogram; returns self.
+
+        Counts, totals, and true min/max combine exactly.  Retained
+        samples are concatenated (percentiles re-sort on demand), so as
+        long as neither side has decimated (count < capacity on both —
+        the common case for per-run fleet aggregation) the merged
+        percentiles are *exact*: identical to a single histogram that
+        observed every sample.  Once a side has decimated, the merge is
+        as approximate as that side already was.  The merged sample list
+        may transiently exceed ``capacity``; the next :meth:`observe`
+        re-applies decimation.
+        """
+        if other.count == 0:
+            return self
+        self.count += other.count
+        self.total += other.total
+        if other._min < self._min:
+            self._min = other._min
+        if other._max > self._max:
+            self._max = other._max
+        self._values.extend(other._values)
+        self._stride = max(self._stride, other._stride)
+        return self
+
 
 class MetricsRegistry:
     """Named metric store shared across the serving components.
@@ -157,6 +182,23 @@ class MetricsRegistry:
         """Get or create the histogram called ``name``."""
         return self._histograms.setdefault(
             name, Histogram(name, capacity=capacity))
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry's instruments into this one; returns self.
+
+        The fleet router aggregates per-worker registries this way:
+        counters add, gauges *sum* (per-worker queue depths and session
+        counts sum to the fleet level), and histograms merge via
+        :meth:`Histogram.merge` — percentile summaries over the union of
+        samples, never a flattened average-of-averages.
+        """
+        for name, counter in other._counters.items():
+            self.counter(name).inc(counter.value)
+        for name, gauge in other._gauges.items():
+            self.gauge(name).inc(gauge.value)
+        for name, hist in other._histograms.items():
+            self.histogram(name, capacity=hist.capacity).merge(hist)
+        return self
 
     def as_dict(self) -> dict:
         """Snapshot every metric as plain values (histograms summarized)."""

@@ -12,12 +12,19 @@ Admission control implements the two classic overload policies:
 
 * ``"shed-oldest"`` — drop the oldest queued chunk to admit the new one
   (freshness wins; stale telemetry is the least valuable).
-* ``"reject"`` — refuse the new chunk (``submit`` returns ``False``),
-  pushing backpressure to the caller.
+* ``"reject"`` — refuse the new chunk (``submit`` returns a falsy
+  :class:`SubmitResult`), pushing backpressure to the caller.
+
+``submit`` answers with a typed :class:`SubmitResult` rather than a bare
+bool/exception so upstream tiers (the fleet router) can tell *recoverable*
+refusals apart: ``REJECTED`` means overload (retry or shed), ``DRAINING``
+means this replica is shutting down (fail over to another), and anything
+else reaching the caller is a programming error.
 """
 
 from __future__ import annotations
 
+import enum
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -29,9 +36,25 @@ from repro.serve.batcher import BatchCompletion, MicroBatcher
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.session import StreamSession
 
-__all__ = ["ServeConfig", "Emission", "InferenceServer"]
+__all__ = ["ServeConfig", "Emission", "InferenceServer", "SubmitResult"]
 
 _ADMISSION_POLICIES = ("shed-oldest", "reject")
+
+
+class SubmitResult(enum.Enum):
+    """Typed outcome of :meth:`InferenceServer.submit`.
+
+    Truthiness preserves the historical bool contract: ``ACCEPTED`` is
+    truthy, every refusal is falsy — ``if not server.submit(...)`` still
+    reads "the chunk did not get in".
+    """
+
+    ACCEPTED = "accepted"       # chunk enqueued (possibly shedding an older one)
+    REJECTED = "rejected"       # queue full under the "reject" policy
+    DRAINING = "draining"       # server is draining; fail over, don't retry
+
+    def __bool__(self) -> bool:
+        return self is SubmitResult.ACCEPTED
 
 
 @dataclass(frozen=True)
@@ -139,35 +162,48 @@ class InferenceServer:
             self._batch_taps.append(tap)
 
     # -- ingress -------------------------------------------------------
-    def submit(self, job_id, samples) -> bool:
-        """Enqueue a telemetry chunk for ``job_id``; False when rejected.
+    def submit(self, job_id, samples) -> SubmitResult:
+        """Enqueue a telemetry chunk for ``job_id``; falsy when refused.
 
         Applies the configured admission policy when the ingress queue is
-        at capacity.  Chunks are processed on the next :meth:`step`.
+        at capacity.  Chunks are processed on the next :meth:`step`.  The
+        returned :class:`SubmitResult` distinguishes ``REJECTED``
+        (overload backpressure) from ``DRAINING`` (replica shutting down
+        — a router should fail the chunk over rather than retry here).
         """
         if self._draining:
-            raise RuntimeError("server is draining; no new work accepted")
+            self.metrics.counter("ingress.draining").inc()
+            return SubmitResult.DRAINING
         samples = np.atleast_2d(np.asarray(samples, dtype=np.float64))
         self.metrics.counter("ingress.chunks").inc()
         if len(self._ingress) >= self.config.queue_capacity:
             if self.config.admission == "reject":
                 self.metrics.counter("ingress.rejected").inc()
-                return False
+                return SubmitResult.REJECTED
             self._ingress.popleft()
             self.metrics.counter("ingress.shed").inc()
             self.metrics.gauge("ingress.depth").dec()
         self._ingress.append((job_id, samples))
         self.metrics.counter("ingress.samples").inc(samples.shape[0])
         self.metrics.gauge("ingress.depth").inc()
-        return True
+        return SubmitResult.ACCEPTED
 
     # -- processing ----------------------------------------------------
-    def step(self) -> list[Emission]:
-        """Process all queued ingress, flush due batches, emit predictions."""
+    def step(self, max_chunks: int | None = None) -> list[Emission]:
+        """Process queued ingress, flush due batches, emit predictions.
+
+        ``max_chunks`` bounds how many ingress chunks this step consumes
+        (None = all of them).  A bounded step models a replica with finite
+        per-tick serving capacity: under overload the ingress queue grows
+        and sheds instead of the step silently absorbing any offered load
+        — the saturation signal the fleet autoscaler reacts to.
+        """
         now = self.clock()
         completions: list[BatchCompletion] = []
-        while self._ingress:
+        processed = 0
+        while self._ingress and (max_chunks is None or processed < max_chunks):
             job_id, samples = self._ingress.popleft()
+            processed += 1
             self.metrics.gauge("ingress.depth").dec()
             for tap in self._ingress_taps:
                 tap.on_ingress(job_id, samples)
@@ -196,15 +232,72 @@ class InferenceServer:
     def end_session(self, job_id) -> bool:
         """Discard per-job state (job finished); True when one existed.
 
-        Any windows already queued in the batcher still complete and emit.
+        Windows already queued in the batcher become orphans (they are
+        predicted but never emitted); chunks still waiting in the ingress
+        queue are dropped — otherwise a leftover chunk would silently
+        resurrect the session on a later step, which breaks session
+        migration in the fleet tier.
         """
         existed = self._sessions.pop(job_id, None) is not None
         if existed:
             self.metrics.gauge("sessions.active").dec()
+        if self._ingress:
+            kept = deque(item for item in self._ingress if item[0] != job_id)
+            dropped = len(self._ingress) - len(kept)
+            if dropped:
+                self._ingress = kept
+                self.metrics.counter("ingress.dropped_on_end").inc(dropped)
+                self.metrics.gauge("ingress.depth").dec(dropped)
         for tap in self._ingress_taps:
             if hasattr(tap, "end_session"):
                 tap.end_session(job_id)
         return existed
+
+    def rebuild_session(
+        self, job_id, rows, *, emit_after_index: int = -1,
+    ) -> list[Emission]:
+        """Reconstruct ``job_id``'s session by replaying its history.
+
+        The fleet failover path: ``rows`` is every telemetry row the job
+        was ever delivered (typically a zero-copy slice out of
+        :class:`~repro.store.TelemetryStore` or the load generator's
+        stream), replayed through a *fresh* session.  Every due window is
+        re-predicted out-of-band — one batched ``predict`` per
+        ``max_batch`` windows, bypassing the live micro-batcher queue —
+        and completed in ``seq`` order, which rebuilds the sliding window
+        *and* the majority-vote state exactly as an unfailed twin would
+        hold them.  Predictions at ``sample_index`` beyond
+        ``emit_after_index`` were never emitted by the dead replica, so
+        they are (re-)emitted here; earlier ones only refresh vote state.
+
+        Emission parity holds because window cut points depend only on
+        per-session sample counts and the models predict each window
+        independently of its batch — both pinned by the fleet test suite.
+        """
+        self.end_session(job_id)
+        session = self._session(job_id)
+        now = self.clock()
+        # Same dtype coercion as submit(): replayed windows must be
+        # numerically identical to the ones the live path would build.
+        rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+        requests = session.push(rows, now_s=now) if rows.size else []
+        labels: list[int] = []
+        for lo in range(0, len(requests), self.config.max_batch):
+            chunk = requests[lo: lo + self.config.max_batch]
+            stacked = np.stack([r.window for r in chunk])
+            labels.extend(
+                int(v) for v in np.asarray(self.batcher.model.predict(stacked))
+            )
+        out: list[Emission] = []
+        for request, label in zip(requests, labels):
+            prediction = session.complete(request, label)
+            if prediction.sample_index > emit_after_index:
+                self.metrics.counter("predictions.emitted").inc()
+                self.metrics.counter("predictions.recovered").inc()
+                out.append(Emission(job_id=job_id, prediction=prediction,
+                                    latency_s=0.0))
+        self.metrics.counter("sessions.rebuilt").inc()
+        return out
 
     @property
     def n_sessions(self) -> int:

@@ -1,0 +1,127 @@
+"""Property tests for the consistent-hash ring (repro.fleet.ring)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet import HashRing
+
+KEYS = [f"job-{i}" for i in range(600)]
+
+worker_sets = st.sets(
+    st.integers(min_value=0, max_value=40), min_size=1, max_size=10
+).map(lambda ids: [f"w{i}" for i in sorted(ids)])
+
+
+class TestBalance:
+    @settings(deadline=None, max_examples=50)
+    @given(
+        n_workers=st.integers(min_value=2, max_value=8),
+        vnodes=st.sampled_from([64, 128, 256]),
+        salt=st.sampled_from(["repro-fleet", "a", "bench"]),
+    )
+    def test_load_within_tolerance_at_64_plus_vnodes(
+        self, n_workers, vnodes, salt
+    ):
+        """No worker owns more than 3x its fair share of keys."""
+        ring = HashRing(
+            [f"w{i}" for i in range(n_workers)], vnodes=vnodes, salt=salt
+        )
+        owners = ring.owners(KEYS)
+        fair = len(KEYS) / n_workers
+        counts = {w: 0 for w in ring.workers}
+        for owner in owners.values():
+            counts[owner] += 1
+        assert max(counts.values()) <= 3.0 * fair
+
+    def test_spans_sum_to_one(self):
+        ring = HashRing(["a", "b", "c"], vnodes=64)
+        spans = ring.spans()
+        assert set(spans) == {"a", "b", "c"}
+        assert sum(spans.values()) == pytest.approx(1.0)
+        assert all(s > 0 for s in spans.values())
+
+
+class TestMinimalChurn:
+    @settings(deadline=None, max_examples=50)
+    @given(workers=worker_sets, vnodes=st.sampled_from([64, 128]))
+    def test_add_only_moves_keys_onto_the_new_worker(self, workers, vnodes):
+        ring = HashRing(workers, vnodes=vnodes)
+        before = ring.owners(KEYS)
+        ring.add("w-new")
+        after = ring.owners(KEYS)
+        for key in KEYS:
+            if after[key] != before[key]:
+                assert after[key] == "w-new"
+
+    @settings(deadline=None, max_examples=50)
+    @given(workers=worker_sets, vnodes=st.sampled_from([64, 128]))
+    def test_remove_only_moves_the_removed_workers_keys(self, workers, vnodes):
+        victim = workers[0]
+        ring = HashRing(workers, vnodes=vnodes)
+        if len(workers) == 1:
+            return  # removing the only worker leaves nothing to route to
+        before = ring.owners(KEYS)
+        ring.remove(victim)
+        after = ring.owners(KEYS)
+        for key in KEYS:
+            if before[key] == victim:
+                assert after[key] != victim
+            else:
+                assert after[key] == before[key]
+
+    @settings(deadline=None, max_examples=30)
+    @given(workers=worker_sets, vnodes=st.sampled_from([64, 128]))
+    def test_add_then_remove_restores_exact_assignment(self, workers, vnodes):
+        ring = HashRing(workers, vnodes=vnodes)
+        before = ring.owners(KEYS)
+        ring.add("w-new")
+        ring.remove("w-new")
+        assert ring.owners(KEYS) == before
+
+    def test_churn_fraction_is_bounded_on_grow(self):
+        for n in (2, 4, 8):
+            ring = HashRing([f"w{i}" for i in range(n)], vnodes=128)
+            before = ring.owners(KEYS)
+            ring.add("w-new")
+            churn = HashRing.churn(before, ring.owners(KEYS))
+            assert churn <= 2.0 / (n + 1)
+
+
+class TestRingBasics:
+    def test_same_config_same_owners(self):
+        a = HashRing(["x", "y", "z"], vnodes=64, salt="s")
+        b = HashRing(["z", "x", "y"], vnodes=64, salt="s")
+        assert a.owners(KEYS) == b.owners(KEYS)
+
+    def test_salt_decorrelates_rings(self):
+        a = HashRing(["x", "y", "z"], vnodes=64, salt="s1")
+        b = HashRing(["x", "y", "z"], vnodes=64, salt="s2")
+        assert a.owners(KEYS) != b.owners(KEYS)
+
+    def test_membership_and_len(self):
+        ring = HashRing(["a", "b"])
+        assert len(ring) == 2
+        assert "a" in ring and "c" not in ring
+        assert ring.workers == ["a", "b"]
+
+    def test_duplicate_add_raises(self):
+        ring = HashRing(["a"])
+        with pytest.raises(ValueError, match="already"):
+            ring.add("a")
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            HashRing(["a"]).remove("b")
+
+    def test_empty_ring_owner_raises(self):
+        with pytest.raises(LookupError):
+            HashRing().owner("job-1")
+
+    def test_churn_requires_same_key_set(self):
+        with pytest.raises(ValueError, match="same keys"):
+            HashRing.churn({"a": "w"}, {"b": "w"})
+
+    def test_invalid_vnodes(self):
+        with pytest.raises(ValueError, match="vnodes"):
+            HashRing(vnodes=0)

@@ -13,6 +13,7 @@ from repro.serve import (
     ServeConfig,
     SimulatedClock,
     StreamSession,
+    SubmitResult,
 )
 
 
@@ -157,10 +158,14 @@ class TestInferenceServer:
         server.submit("a", _series(10))
         emissions = server.drain()               # forces the partial batch out
         assert len(emissions) == 1
-        with pytest.raises(RuntimeError, match="draining"):
-            server.submit("a", _series(5))
+        # Draining is a typed (falsy) refusal, not an exception — the
+        # fleet router relies on telling it apart from overload.
+        result = server.submit("a", _series(5))
+        assert result is SubmitResult.DRAINING
+        assert not result
+        assert server.metrics.counter("ingress.draining").value == 1
         server.reopen()
-        assert server.submit("a", _series(5))
+        assert server.submit("a", _series(5)) is SubmitResult.ACCEPTED
 
     def test_end_session_orphans_inflight_windows(self):
         server, _ = self._server(max_batch=1000, flush_deadline_s=1e9)
