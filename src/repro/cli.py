@@ -10,6 +10,7 @@ Four subcommands cover the common workflows end to end::
     python -m repro resilience-bench --scale 0.01 --mtbf-epochs 2
     python -m repro store-bench      --quick --out BENCH_store.json
     python -m repro fleet-bench      --quick --out BENCH_fleet.json
+    python -m repro trace-bench      --quick --out BENCH_trace.json
 
 All commands are deterministic for a given ``--seed`` (``serve-bench`` and
 ``monitor-bench`` wall-clock throughput varies with the machine; every
@@ -244,6 +245,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument("--out", default="BENCH_fleet.json",
                          help="output path for the bench JSON "
                               "(default: BENCH_fleet.json)")
+
+    p_trace = sub.add_parser(
+        "trace-bench",
+        help="gate the request-tracing subsystem: traced/untraced "
+             "emission parity under a worker crash, span-tree "
+             "connectivity at 4 workers, failover trace links, sampled "
+             "hot-path overhead <5%%, and span-WAL crash recovery",
+    )
+    p_trace.add_argument("--seed", type=int, default=2022,
+                         help="replay seed (default 2022)")
+    p_trace.add_argument("--jobs", type=int, default=None,
+                         help="job streams in the failover scenario "
+                              "(default 32, or 16 with --quick)")
+    p_trace.add_argument("--workers", type=int, default=4,
+                         help="fleet size for the connectivity gate "
+                              "(default 4)")
+    p_trace.add_argument("--kill-tick", type=int, default=6,
+                         help="tick at which the victim worker crashes "
+                              "(default 6)")
+    p_trace.add_argument("--sample", type=float, default=1.0 / 16.0,
+                         help="sampling rate the overhead gate runs at "
+                              "(default 1/16)")
+    p_trace.add_argument("--max-overhead", type=float, default=0.05,
+                         help="sampled hot-path overhead budget "
+                              "(default 0.05 = 5%%)")
+    p_trace.add_argument("--quick", action="store_true",
+                         help="CI smoke: shorter streams, earlier kill, "
+                              "fewer timing repeats")
+    p_trace.add_argument("--out", default="BENCH_trace.json",
+                         help="output path for the bench JSON "
+                              "(default: BENCH_trace.json)")
     return parser
 
 
@@ -568,6 +600,38 @@ def _cmd_fleet_bench(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_trace_bench(args) -> int:
+    from repro.perf import write_bench_json
+    from repro.trace.bench import TraceBenchConfig, run_trace_bench
+
+    overrides = dict(
+        seed=args.seed,
+        parity_workers=args.workers,
+        sample=args.sample,
+        max_overhead=args.max_overhead,
+    )
+    if args.jobs is not None:
+        overrides["n_jobs"] = args.jobs
+    if args.quick:
+        config = TraceBenchConfig.quick(
+            **overrides, kill_tick=min(args.kill_tick, 3),
+        )
+    else:
+        config = TraceBenchConfig(**overrides, kill_tick=args.kill_tick)
+    report = run_trace_bench(config)
+    print(report.format())
+    if report.example_trace:
+        print("\nthe killed request's trace:")
+        print(report.example_trace)
+    path = write_bench_json(args.out, report.results)
+    print(f"\n# {path}")
+    for result in report.results:
+        print(f"  {result}")
+    verdict = "ok" if report.ok else "VIOLATED"
+    print(f"trace verdict: {verdict} ({report.wall_seconds:.1f}s)")
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -581,6 +645,7 @@ def main(argv: list[str] | None = None) -> int:
         "perf-bench": _cmd_perf_bench,
         "store-bench": _cmd_store_bench,
         "fleet-bench": _cmd_fleet_bench,
+        "trace-bench": _cmd_trace_bench,
     }
     return handlers[args.command](args)
 

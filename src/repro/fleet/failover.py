@@ -75,13 +75,17 @@ class SessionRebuilder:
         worker,
         *,
         emit_after_index: int = -1,
+        trace=None,
     ) -> list[Emission]:
         """Adopt ``job_id`` onto ``worker``; returns recovered emissions.
 
         ``delivered_rows`` is the router's count of rows ever routed for
         the job; ``emit_after_index`` the last ``sample_index`` the fleet
         actually emitted — everything past it was lost in flight and is
-        re-emitted by the rebuild.
+        re-emitted by the rebuild.  ``trace`` (a trace context or None)
+        is propagated into the adopting worker so the replay records a
+        span in the original request's trace; it is only forwarded when
+        set, so trace-unaware worker stand-ins keep working.
         """
         if self.history is None or delivered_rows <= 0:
             worker.end_session(job_id)   # at least drop any stale state
@@ -92,8 +96,12 @@ class SessionRebuilder:
                 f"history for job {job_id!r} has {rows.shape[0]} rows, "
                 f"router delivered {delivered_rows}"
             )
+        if trace is None:
+            return worker.rebuild_session(
+                job_id, rows, emit_after_index=emit_after_index
+            )
         return worker.rebuild_session(
-            job_id, rows, emit_after_index=emit_after_index
+            job_id, rows, emit_after_index=emit_after_index, trace=trace
         )
 
 

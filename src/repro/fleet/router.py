@@ -52,7 +52,13 @@ class FleetRouter:
         or :class:`~repro.fleet.worker.SubprocessWorker`); at least one.
         All must share ``clock``.
     clock:
-        The fleet's shared time source.
+        The fleet's shared time source.  ``None`` (the default) adopts
+        the first worker's clock; an explicit clock is *propagated*: any
+        worker on a different time source is re-bound
+        (``worker.rebind_clock``), and a ``health`` monitor on a
+        different source is re-pointed too.  Historically the default
+        was ``time.monotonic``, which silently mixed wall time into
+        simulated-clock fleets and made lease expiry nondeterministic.
     history:
         Optional ``job_id -> full row array`` provider for failover
         replay (see :class:`~repro.fleet.failover.SessionRebuilder`);
@@ -64,23 +70,40 @@ class FleetRouter:
         ``heartbeat=health`` so their steps actually beat it.
     vnodes / salt:
         Hash-ring shape (see :class:`~repro.fleet.ring.HashRing`).
+    tracer:
+        Optional :class:`~repro.trace.Tracer` for the routing tier:
+        chunks submitted with a trace context get a ``route`` span per
+        attempt, and failovers record ``worker.lost`` /
+        ``failover.rebuild`` spans in the affected requests' traces.
     """
 
     def __init__(
         self,
         workers,
         *,
-        clock=time.monotonic,
+        clock=None,
         history=None,
         health=None,
         vnodes: int = 128,
         salt: str = "repro-fleet",
+        tracer=None,
     ):
         workers = list(workers)
         if not workers:
             raise ValueError("need at least one worker")
+        if clock is None:
+            clock = getattr(workers[0], "clock", None) or time.monotonic
         self.clock = clock
+        self.tracer = tracer
+        #: job -> last propagated trace context (failover spans attach here).
+        self._trace_ctx: dict[object, object] = {}
         self.health = health
+        if health is not None and health.clock is not clock:
+            # One fleet, one time base: a monitor left on its own clock
+            # (usually the wall default) would expire simulated-clock
+            # leases at wall speed.  Registrations below re-baseline the
+            # beats on the shared clock.
+            health.clock = clock
         self.metrics = MetricsRegistry()
         self.rebuilder = SessionRebuilder(history)
         self._workers: dict[str, object] = {}
@@ -96,11 +119,18 @@ class FleetRouter:
         for worker in workers:
             if worker.worker_id in self._workers:
                 raise ValueError(f"duplicate worker id {worker.worker_id!r}")
+            self._adopt_clock(worker)
             self._workers[worker.worker_id] = worker
             self.ring.add(worker.worker_id)
             if self.health is not None:
                 self.health.register(worker.worker_id)
         self.metrics.gauge("fleet.workers").set(len(self._workers))
+
+    def _adopt_clock(self, worker) -> None:
+        """Re-bind ``worker`` onto the router's clock if it differs."""
+        rebind = getattr(worker, "rebind_clock", None)
+        if rebind is not None and getattr(worker, "clock", None) is not self.clock:
+            rebind(self.clock)
 
     # ------------------------------------------------------------------
     # introspection
@@ -160,23 +190,54 @@ class FleetRouter:
 
     # ------------------------------------------------------------------
     # ingress
-    def submit(self, job_id, samples) -> SubmitResult:
+    def submit(self, job_id, samples, *, trace=None) -> SubmitResult:
         """Route one chunk to the owning worker, failing over on death.
 
         A dead owner triggers an immediate failover (ring removal +
         session rebuild) and the chunk retries on the new owner — the
         caller never sees the crash.  ``REJECTED`` (overload) is returned
         as-is: backpressure is the caller's signal, not a routing error.
+
+        ``trace`` (a trace context or None) is propagated to the owning
+        worker; each routing attempt records a ``route`` span under it —
+        a failed attempt (dead owner) gets its own failed span before
+        the retry's — and the context is remembered per job so later
+        failover spans can link back to the request that was in flight.
         """
         samples = np.atleast_2d(np.asarray(samples))
+        tracer = self.tracer if trace is not None else None
+        if tracer is not None:
+            self._trace_ctx[job_id] = trace
         for _ in range(len(self._workers) + 1):
             worker_id = self.owner_of(job_id)
             worker = self._workers[worker_id]
-            try:
-                result = worker.submit(job_id, samples)
-            except WorkerUnavailable:
-                self._on_worker_death(worker_id)
-                continue
+            if tracer is not None:
+                route_ctx = tracer.child(trace)
+                start = self.clock()
+                tic = time.perf_counter()
+                try:
+                    result = worker.submit(job_id, samples, trace=route_ctx)
+                except WorkerUnavailable:
+                    tracer.emit(
+                        route_ctx, "route", start_s=start, end_s=self.clock(),
+                        wall_s=time.perf_counter() - tic,
+                        worker_id=worker_id, status="failed",
+                        annotations={"error": "worker-unavailable"},
+                    )
+                    self._on_worker_death(worker_id)
+                    continue
+                tracer.emit(
+                    route_ctx, "route", start_s=start, end_s=self.clock(),
+                    wall_s=time.perf_counter() - tic,
+                    worker_id=worker_id,
+                    status="ok" if result else str(result.value),
+                )
+            else:
+                try:
+                    result = worker.submit(job_id, samples)
+                except WorkerUnavailable:
+                    self._on_worker_death(worker_id)
+                    continue
             if result is SubmitResult.DRAINING:
                 self.metrics.counter("fleet.rerouted.draining").inc()
                 self._handoff(worker_id, kind="drain")
@@ -239,6 +300,7 @@ class FleetRouter:
         worker_id = self._owner.pop(job_id, None)
         self._delivered.pop(job_id, None)
         self._last_index.pop(job_id, None)
+        self._trace_ctx.pop(job_id, None)
         if worker_id is not None and worker_id in self._workers:
             try:
                 return self._workers[worker_id].end_session(job_id)
@@ -259,6 +321,7 @@ class FleetRouter:
         worker_id = worker.worker_id
         if worker_id in self._workers:
             raise ValueError(f"worker {worker_id!r} already routed")
+        self._adopt_clock(worker)
         self._workers[worker_id] = worker
         self.ring.add(worker_id)
         if self.health is not None:
@@ -320,12 +383,31 @@ class FleetRouter:
         if source is not None:
             source.end_session(job)
         new_worker_id = self.ring.owner(job)
+        ctx = self._trace_ctx.get(job) if self.tracer is not None else None
+        rebuild_ctx = None
+        if ctx is not None:
+            rebuild_ctx = self.tracer.child(ctx)
+            start = self.clock()
+            tic = time.perf_counter()
         emissions = self.rebuilder.rebuild(
             job,
             self._delivered.get(job, 0),
             self._workers[new_worker_id],
             emit_after_index=self._last_index.get(job, -1),
+            trace=rebuild_ctx,
         )
+        if rebuild_ctx is not None:
+            # Recorded in the *original* request's trace: the rebuild is
+            # causally part of whatever chunk was last in flight for the
+            # job, and the links annotation makes that explicit.
+            self.tracer.emit(
+                rebuild_ctx, "failover.rebuild",
+                start_s=start, end_s=self.clock(),
+                wall_s=time.perf_counter() - tic,
+                worker_id=new_worker_id,
+                annotations={"job": job, "recovered": len(emissions),
+                             "links": rebuild_ctx.trace_id},
+            )
         self._owner[job] = new_worker_id
         self.metrics.counter("fleet.sessions.migrated").inc()
         if emissions:
@@ -348,6 +430,19 @@ class FleetRouter:
                 f"last worker {worker_id!r} died; nothing to fail over to"
             )
         jobs = self._jobs_owned_by(worker_id)
+        if self.tracer is not None:
+            now = self.clock()
+            for job in jobs:
+                ctx = self._trace_ctx.get(job)
+                if ctx is not None:
+                    # The request that was in flight on the dead worker is
+                    # marked failed in its own trace; the rebuild spans
+                    # that follow (via _migrate) attach alongside it.
+                    self.tracer.emit(
+                        self.tracer.child(ctx), "worker.lost",
+                        start_s=now, end_s=now, worker_id=worker_id,
+                        status="failed", annotations={"job": job},
+                    )
         recovered = sum(
             len(self._migrate(job, source=None)) for job in jobs
         )

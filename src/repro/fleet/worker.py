@@ -77,6 +77,11 @@ class FleetWorker:
         Optional :class:`~repro.fleet.health.HeartbeatMonitor`; every
         step beats it (unless the ``fleet.heartbeat.drop`` fault eats
         the beat in transit).
+    tracer:
+        Optional :class:`~repro.trace.Tracer` handed to the wrapped
+        server; serve-stage spans it emits are stamped with this
+        worker's id (set ``worker_id=...`` on the tracer, or share the
+        router's sink with a per-worker tracer).
     """
 
     def __init__(
@@ -88,6 +93,7 @@ class FleetWorker:
         clock=time.monotonic,
         capacity_per_step: int | None = None,
         heartbeat=None,
+        tracer=None,
     ):
         if capacity_per_step is not None and capacity_per_step < 1:
             raise ValueError(
@@ -98,9 +104,22 @@ class FleetWorker:
         self.capacity_per_step = capacity_per_step
         self.metrics = MetricsRegistry()
         self.server = InferenceServer(model, config, clock=clock,
-                                      metrics=self.metrics)
+                                      metrics=self.metrics, tracer=tracer)
         self._heartbeat = heartbeat
         self._alive = True
+
+    def rebind_clock(self, clock) -> None:
+        """Re-point this worker and everything it owns at ``clock``.
+
+        The router calls this at construction so one shared time source
+        drives the worker, its server, and the server's batcher — a
+        replica left on ``time.monotonic`` while the fleet replays on a
+        simulated clock makes batch deadlines (and thus emission
+        schedules) nondeterministic.
+        """
+        self.clock = clock
+        self.server.clock = clock
+        self.server.batcher.clock = clock
 
     # ------------------------------------------------------------------
     @property
@@ -131,10 +150,10 @@ class FleetWorker:
         self._heartbeat.beat(self.worker_id)
 
     # ------------------------------------------------------------------
-    def submit(self, job_id, samples) -> SubmitResult:
+    def submit(self, job_id, samples, *, trace=None) -> SubmitResult:
         """Enqueue one chunk on the wrapped server."""
         self._check_alive()
-        return self.server.submit(job_id, samples)
+        return self.server.submit(job_id, samples, trace=trace)
 
     def step(self) -> list[Emission]:
         """Serve one tick: up to ``capacity_per_step`` chunks, due batches."""
@@ -159,11 +178,12 @@ class FleetWorker:
         self._check_alive()
         return self.server.end_session(job_id)
 
-    def rebuild_session(self, job_id, rows, *, emit_after_index: int = -1):
+    def rebuild_session(self, job_id, rows, *, emit_after_index: int = -1,
+                        trace=None):
         """Failover adoption: replay ``rows`` into a fresh session here."""
         self._check_alive()
         return self.server.rebuild_session(
-            job_id, rows, emit_after_index=emit_after_index
+            job_id, rows, emit_after_index=emit_after_index, trace=trace
         )
 
     def metrics_registry(self) -> MetricsRegistry:
@@ -195,17 +215,34 @@ def _subprocess_worker_main(conn, payload: bytes) -> None:
     deterministic timeline.  Fault specs shipped in the payload are
     installed here — a ``mode="kill"`` spec SIGKILLs *this* process,
     which the parent sees as a broken pipe.
+
+    When the payload enables tracing, the child runs its own
+    :class:`~repro.trace.Tracer` (component = worker id, so its span ids
+    can never collide with the parent's) over a private buffer sink;
+    every response ships the buffered spans back as the third element of
+    the reply tuple, where the parent merges them.  Spans buffered when
+    the child is SIGKILLed are lost with it — by design: an
+    unacknowledged span is exactly as gone as the work it described.
     """
     spec = pickle.loads(payload)
     if spec["faults"]:
         install(FaultInjector(list(spec["faults"])))
     clock = SimulatedClock()
+    sink = None
+    tracer = None
+    if spec.get("trace") is not None:
+        from repro.trace import Tracer, TraceSink
+
+        sink = TraceSink()
+        tracer = Tracer(sink, component=spec["worker_id"],
+                        worker_id=spec["worker_id"], sample=spec["trace"])
     worker = FleetWorker(
         spec["worker_id"],
         spec["model"],
         spec["config"],
         clock=clock,
         capacity_per_step=spec["capacity_per_step"],
+        tracer=tracer,
     )
     while True:
         try:
@@ -219,7 +256,8 @@ def _subprocess_worker_main(conn, payload: bytes) -> None:
         clock.advance_to(now)
         try:
             if op == "submit":
-                result = worker.submit(message[2], message[3])
+                result = worker.submit(message[2], message[3],
+                                       trace=message[4])
             elif op == "step":
                 result = worker.step()
             elif op == "drain":
@@ -228,7 +266,8 @@ def _subprocess_worker_main(conn, payload: bytes) -> None:
                 result = worker.end_session(message[2])
             elif op == "rebuild_session":
                 result = worker.rebuild_session(
-                    message[2], message[3], emit_after_index=message[4]
+                    message[2], message[3], emit_after_index=message[4],
+                    trace=message[5],
                 )
             elif op == "metrics":
                 result = worker.metrics_registry()
@@ -237,9 +276,11 @@ def _subprocess_worker_main(conn, payload: bytes) -> None:
             else:
                 raise ValueError(f"unknown worker op {op!r}")
         except Exception as exc:  # report, keep serving
-            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+            spans = sink.drain() if sink is not None else ()
+            conn.send(("err", f"{type(exc).__name__}: {exc}", spans))
         else:
-            conn.send(("ok", result))
+            spans = sink.drain() if sink is not None else ()
+            conn.send(("ok", result, spans))
 
 
 class SubprocessWorker:
@@ -251,6 +292,11 @@ class SubprocessWorker:
     broken pipe — the router treats that exactly like an in-process
     crash.  ``faults`` ships :class:`~repro.resilience.FaultSpec` s for
     the child to install, so crash tests can SIGKILL it at an exact step.
+
+    ``trace_sink`` (optional) enables tracing in the child: the child
+    runs a private tracer (``trace_sample`` sampling) and every pipe
+    response carries its freshly recorded spans, which are merged into
+    the given sink here in the parent.
     """
 
     def __init__(
@@ -263,11 +309,14 @@ class SubprocessWorker:
         capacity_per_step: int | None = None,
         heartbeat=None,
         faults=(),
+        trace_sink=None,
+        trace_sample: float = 1.0,
     ):
         self.worker_id = str(worker_id)
         self.clock = clock
         self.capacity_per_step = capacity_per_step
         self._heartbeat = heartbeat
+        self.trace_sink = trace_sink
         self._alive = True
         ctx = mp.get_context("spawn")   # fork is unsafe with threaded BLAS
         self._conn, child_conn = ctx.Pipe()
@@ -277,6 +326,7 @@ class SubprocessWorker:
             "config": config,
             "capacity_per_step": capacity_per_step,
             "faults": tuple(faults),
+            "trace": float(trace_sample) if trace_sink is not None else None,
         })
         self._proc = ctx.Process(
             target=_subprocess_worker_main,
@@ -316,17 +366,25 @@ class SubprocessWorker:
         if self._proc.is_alive():
             self._proc.terminate()
 
+    def rebind_clock(self, clock) -> None:
+        """Re-point at ``clock``; the child syncs via message timestamps."""
+        self.clock = clock
+
     def _call(self, op: str, *args):
         if not self._alive:
             raise WorkerUnavailable(f"worker {self.worker_id} is dead")
         try:
             self._conn.send((op, self.clock(), *args))
-            status, result = self._conn.recv()
+            status, result, spans = self._conn.recv()
         except (EOFError, BrokenPipeError, ConnectionResetError, OSError) as exc:
             self._alive = False
             raise WorkerUnavailable(
                 f"worker {self.worker_id} process died mid-{op}"
             ) from exc
+        if spans and self.trace_sink is not None:
+            # Merge even on "err": spans describe work that did complete
+            # in the child before the failure.
+            self.trace_sink.extend(spans)
         if status == "err":
             self._alive = False
             raise WorkerUnavailable(
@@ -338,9 +396,9 @@ class SubprocessWorker:
         return result
 
     # ------------------------------------------------------------------
-    def submit(self, job_id, samples) -> SubmitResult:
+    def submit(self, job_id, samples, *, trace=None) -> SubmitResult:
         """Enqueue one chunk in the child replica."""
-        return self._call("submit", job_id, samples)
+        return self._call("submit", job_id, samples, trace)
 
     def step(self) -> list[Emission]:
         """Serve one tick in the child replica."""
@@ -354,11 +412,12 @@ class SubprocessWorker:
         """Discard one job's session state in the child."""
         return self._call("end_session", job_id)
 
-    def rebuild_session(self, job_id, rows, *, emit_after_index: int = -1):
+    def rebuild_session(self, job_id, rows, *, emit_after_index: int = -1,
+                        trace=None):
         """Failover adoption in the child (rows cross the pipe once)."""
         return self._call(
             "rebuild_session", job_id, np.ascontiguousarray(rows),
-            emit_after_index,
+            emit_after_index, trace,
         )
 
     def metrics_registry(self) -> MetricsRegistry:

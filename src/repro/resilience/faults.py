@@ -24,6 +24,7 @@ Instrumented points (grep for ``fault_point(`` to audit):
 ``store.manifest.swap``         segments finalized, before the manifest replace
 ``fleet.worker.crash``          top of a fleet worker's step, before any work
 ``fleet.heartbeat.drop``        a worker's heartbeat, dropped in transit
+``trace.sink.flush``            half of a trace WAL batch's bytes written
 ==============================  =================================================
 
 Injection is process-local and off by default; ``fault_point`` is a single
@@ -71,6 +72,7 @@ FAULT_POINTS = frozenset({
     "store.manifest.swap",
     "fleet.worker.crash",
     "fleet.heartbeat.drop",
+    "trace.sink.flush",
 })
 
 

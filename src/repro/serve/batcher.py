@@ -28,11 +28,20 @@ __all__ = ["BatchCompletion", "MicroBatcher"]
 
 @dataclass(frozen=True)
 class BatchCompletion:
-    """One classified window leaving the batcher."""
+    """One classified window leaving the batcher.
+
+    ``flushed_s``/``predict_share_s`` let the emit path reconstruct the
+    batch-wait and predict stages of the request's trace: the flush
+    timestamp splits queue time from emit time on the serving clock, and
+    the per-window share of the batched ``predict``'s wall time is the
+    request's fair slice of model compute.
+    """
 
     request: WindowRequest
     label: int
     waited_s: float             # queue time from submit to flush
+    flushed_s: float = 0.0      # serving-clock time of the batch flush
+    predict_share_s: float = 0.0  # this window's share of predict wall time
 
 
 class MicroBatcher:
@@ -151,10 +160,12 @@ class MicroBatcher:
             self.metrics.histogram("batch.predict_wall_s").observe(
                 predict_wall_s / len(batch))
         out = []
+        share = predict_wall_s / len(batch)
         for (req, submitted_s), label in zip(batch, labels):
             waited = now - submitted_s
             if self.metrics is not None:
                 self.metrics.histogram("batch.wait_s").observe(waited)
             out.append(BatchCompletion(request=req, label=int(label),
-                                       waited_s=waited))
+                                       waited_s=waited, flushed_s=now,
+                                       predict_share_s=share))
         return out

@@ -344,6 +344,7 @@ class FleetLoadGenerator:
         end_sessions: bool = True,
         route=None,
         on_tick=None,
+        tracer=None,
     ) -> LoadReport:
         """Drive ``server`` through the whole fleet replay.
 
@@ -360,6 +361,18 @@ class FleetLoadGenerator:
         ``on_tick(tick, emissions)`` (optional) runs after every tick's
         step with that tick's emissions — the hook rollout controllers and
         alert evaluation attach to.
+
+        ``tracer`` (optional :class:`~repro.trace.Tracer`) opens a root
+        ``request`` span per submitted chunk — trace id ``j<job>.t<tick>``
+        — and propagates its context through ``submit(..., trace=ctx)``,
+        so downstream stages (routing, ingest, batching, predict, emit)
+        attach to it.  The target must accept the ``trace`` keyword
+        (:class:`InferenceServer` and the fleet router both do).
+        Sampling is head-based at *job* granularity: the tracer's
+        ``sample`` fraction picks whole job streams (hash of
+        ``"j<job>"``), so a sampled job records a complete trace for
+        every one of its chunks, and chunks of unsampled jobs take the
+        untraced call path at the cost of one set test.
         """
         if server.clock is not self.clock:
             raise ValueError(
@@ -369,6 +382,17 @@ class FleetLoadGenerator:
         servers: list[InferenceServer] = [server]
         emissions: list[Emission] = []
         finished: set[int] = set()
+        traced_jobs: set[int] | None = None
+        if tracer is not None:
+            # One sampling decision per job stream, made up front: the
+            # per-chunk alternative pays a hash on every submit of the
+            # hot loop and records traces whose sibling chunks are
+            # missing.  Deterministic (hash of "j<job>"), like all
+            # tracer sampling.
+            traced_jobs = {
+                job for job in range(self.n_jobs)
+                if tracer.sampled(f"j{job}")
+            }
         tic = time.perf_counter()
         for tick in range(self.n_ticks):
             for job in range(self.n_jobs):
@@ -389,7 +413,19 @@ class FleetLoadGenerator:
                 lo = (tick - start_tick) * self.samples_per_tick
                 chunk = stream[lo: lo + self.samples_per_tick]
                 if chunk.shape[0]:
-                    target.submit(job, chunk)
+                    if traced_jobs is None or job not in traced_jobs:
+                        target.submit(job, chunk)
+                    else:
+                        ctx = tracer.root(f"j{job}.t{tick}")
+                        now = self.clock()
+                        tic_req = time.perf_counter()
+                        accepted = target.submit(job, chunk, trace=ctx)
+                        tracer.emit(
+                            ctx, "request", start_s=now, end_s=now,
+                            wall_s=time.perf_counter() - tic_req,
+                            status="ok" if accepted else "refused",
+                            annotations={"job": int(job), "tick": int(tick)},
+                        )
                 if lo + self.samples_per_tick >= stream.shape[0]:
                     finished.add(job)
             tick_emissions: list[Emission] = []

@@ -108,9 +108,22 @@ class Histogram:
         return self.total / self.count if self.count else float("nan")
 
     def percentile(self, q: float) -> float:
-        """Nearest-rank percentile ``q`` in [0, 100] over retained samples."""
+        """Nearest-rank percentile ``q`` in [0, 100].
+
+        Interior percentiles come from the retained samples (approximate
+        once decimation has dropped samples).  ``q=0`` and ``q=100``
+        return the exact tracked ``min``/``max`` — decimation may have
+        dropped the extreme sample, so the retained-sample extremes can
+        silently disagree with the true ones.
+        """
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self.count:
+            return float("nan")
+        if q == 0.0:
+            return self._min
+        if q == 100.0:
+            return self._max
         if not self._values:
             return float("nan")
         ordered = sorted(self._values)
@@ -172,16 +185,34 @@ class MetricsRegistry:
 
     def counter(self, name: str) -> Counter:
         """Get or create the counter called ``name``."""
-        return self._counters.setdefault(name, Counter(name))
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
 
     def gauge(self, name: str) -> Gauge:
         """Get or create the gauge called ``name``."""
-        return self._gauges.setdefault(name, Gauge(name))
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
 
     def histogram(self, name: str, *, capacity: int = 65536) -> Histogram:
-        """Get or create the histogram called ``name``."""
-        return self._histograms.setdefault(
-            name, Histogram(name, capacity=capacity))
+        """Get or create the histogram called ``name``.
+
+        ``capacity`` only takes effect on first creation; a later lookup
+        with a different capacity returns the existing instrument
+        unchanged.  (Fleet merges rely on this: the destination histogram
+        is created with the *source's* capacity so decimation behavior
+        survives aggregation.)
+        """
+        hist = self._histograms.get(name)
+        if hist is None:
+            # get-or-create without setdefault: constructing a throwaway
+            # Histogram per lookup would cost an allocation on every
+            # hot-path observe.
+            hist = self._histograms[name] = Histogram(name, capacity=capacity)
+        return hist
 
     def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
         """Fold another registry's instruments into this one; returns self.

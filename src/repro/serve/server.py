@@ -118,6 +118,12 @@ class InferenceServer:
         leaves the ingress queue — and/or ``on_batch(completions)`` —
         called with each non-empty list of classified windows before
         they are folded back into sessions.
+    tracer:
+        Optional :class:`~repro.trace.Tracer`.  When set, chunks
+        submitted with a trace context get per-stage spans (``ingest``,
+        ``batch.wait``, ``predict``, ``emit``, ``taps``) attached to the
+        caller's tree; untraced chunks and ``tracer=None`` pay only a
+        ``None`` check.
     """
 
     def __init__(
@@ -128,9 +134,11 @@ class InferenceServer:
         clock=time.monotonic,
         metrics: MetricsRegistry | None = None,
         taps=(),
+        tracer=None,
     ):
         self.config = config or ServeConfig()
         self.clock = clock
+        self.tracer = tracer
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._ingress_taps = []
         self._batch_taps = []
@@ -144,7 +152,8 @@ class InferenceServer:
             metrics=self.metrics,
         )
         self._sessions: dict[object, StreamSession] = {}
-        self._ingress: deque[tuple[object, np.ndarray]] = deque()
+        # (job_id, samples, trace context or None)
+        self._ingress: deque[tuple[object, np.ndarray, object]] = deque()
         self._draining = False
 
     def add_tap(self, tap) -> None:
@@ -162,7 +171,7 @@ class InferenceServer:
             self._batch_taps.append(tap)
 
     # -- ingress -------------------------------------------------------
-    def submit(self, job_id, samples) -> SubmitResult:
+    def submit(self, job_id, samples, *, trace=None) -> SubmitResult:
         """Enqueue a telemetry chunk for ``job_id``; falsy when refused.
 
         Applies the configured admission policy when the ingress queue is
@@ -170,6 +179,9 @@ class InferenceServer:
         returned :class:`SubmitResult` distinguishes ``REJECTED``
         (overload backpressure) from ``DRAINING`` (replica shutting down
         — a router should fail the chunk over rather than retry here).
+        ``trace`` (a trace context or None) rides the queue with the
+        chunk; serve-stage spans attach under it once the chunk is
+        processed.  A shed chunk's context is dropped with it.
         """
         if self._draining:
             self.metrics.counter("ingress.draining").inc()
@@ -183,7 +195,7 @@ class InferenceServer:
             self._ingress.popleft()
             self.metrics.counter("ingress.shed").inc()
             self.metrics.gauge("ingress.depth").dec()
-        self._ingress.append((job_id, samples))
+        self._ingress.append((job_id, samples, trace))
         self.metrics.counter("ingress.samples").inc(samples.shape[0])
         self.metrics.gauge("ingress.depth").inc()
         return SubmitResult.ACCEPTED
@@ -199,16 +211,29 @@ class InferenceServer:
         — the saturation signal the fleet autoscaler reacts to.
         """
         now = self.clock()
+        tracer = self.tracer
         completions: list[BatchCompletion] = []
         processed = 0
         while self._ingress and (max_chunks is None or processed < max_chunks):
-            job_id, samples = self._ingress.popleft()
+            job_id, samples, ctx = self._ingress.popleft()
             processed += 1
             self.metrics.gauge("ingress.depth").dec()
             for tap in self._ingress_taps:
                 tap.on_ingress(job_id, samples)
             session = self._session(job_id)
-            for request in session.push(samples, now_s=now):
+            if ctx is not None and tracer is not None:
+                ingest_ctx = tracer.child(ctx)
+                tic = time.perf_counter()
+                requests = session.push(samples, now_s=now, trace=ingest_ctx)
+                tracer.emit(
+                    ingest_ctx, "ingest", start_s=now, end_s=now,
+                    wall_s=time.perf_counter() - tic,
+                    annotations={"rows": samples.shape[0],
+                                 "windows": len(requests)},
+                )
+            else:
+                requests = session.push(samples, now_s=now)
+            for request in requests:
                 completions.extend(self.batcher.submit(request))
         completions.extend(self.batcher.poll())
         return self._emit(completions)
@@ -254,7 +279,7 @@ class InferenceServer:
         return existed
 
     def rebuild_session(
-        self, job_id, rows, *, emit_after_index: int = -1,
+        self, job_id, rows, *, emit_after_index: int = -1, trace=None,
     ) -> list[Emission]:
         """Reconstruct ``job_id``'s session by replaying its history.
 
@@ -277,6 +302,7 @@ class InferenceServer:
         self.end_session(job_id)
         session = self._session(job_id)
         now = self.clock()
+        tic = time.perf_counter()
         # Same dtype coercion as submit(): replayed windows must be
         # numerically identical to the ones the live path would build.
         rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
@@ -297,6 +323,17 @@ class InferenceServer:
                 out.append(Emission(job_id=job_id, prediction=prediction,
                                     latency_s=0.0))
         self.metrics.counter("sessions.rebuilt").inc()
+        if trace is not None and self.tracer is not None:
+            # The replay span lives in the *original* request's trace (the
+            # context the router propagated from the failed route), so a
+            # recovered request reads as one connected tree.
+            self.tracer.emit(
+                self.tracer.child(trace), "failover.replay",
+                start_s=now, end_s=self.clock(),
+                wall_s=time.perf_counter() - tic,
+                annotations={"windows": len(requests), "re_emitted": len(out),
+                             "links": trace.trace_id},
+            )
         return out
 
     @property
@@ -326,9 +363,25 @@ class InferenceServer:
     # -- emission ------------------------------------------------------
     def _emit(self, completions: list[BatchCompletion]) -> list[Emission]:
         now = self.clock()
+        tracer = self.tracer
         if completions:
-            for tap in self._batch_taps:
-                tap.on_batch(completions)
+            taps_wall = 0.0
+            if tracer is not None and self._batch_taps:
+                tic = time.perf_counter()
+                for tap in self._batch_taps:
+                    tap.on_batch(completions)
+                taps_wall = time.perf_counter() - tic
+                first = next((c.request.trace for c in completions
+                              if c.request.trace is not None), None)
+                if first is not None:
+                    tracer.emit(
+                        tracer.child(first), "taps", start_s=now, end_s=now,
+                        wall_s=taps_wall,
+                        annotations={"completions": len(completions)},
+                    )
+            else:
+                for tap in self._batch_taps:
+                    tap.on_batch(completions)
         out: list[Emission] = []
         for completion in completions:
             request = completion.request
@@ -336,10 +389,30 @@ class InferenceServer:
             if session is None:        # session ended while batch in flight
                 self.metrics.counter("predictions.orphaned").inc()
                 continue
+            traced = tracer is not None and request.trace is not None
+            tic = time.perf_counter() if traced else 0.0
             prediction = session.complete(request, completion.label)
             latency = now - request.created_s
             self.metrics.counter("predictions.emitted").inc()
             self.metrics.histogram("latency.window_s").observe(latency)
             out.append(Emission(job_id=request.session_id,
                                 prediction=prediction, latency_s=latency))
+            if traced:
+                emit_wall = time.perf_counter() - tic
+                ctx = request.trace
+                tracer.emit(
+                    tracer.child(ctx), "batch.wait",
+                    start_s=request.created_s, end_s=completion.flushed_s,
+                )
+                tracer.emit(
+                    tracer.child(ctx), "predict",
+                    start_s=completion.flushed_s, end_s=completion.flushed_s,
+                    wall_s=completion.predict_share_s,
+                )
+                tracer.emit(
+                    tracer.child(ctx), "emit",
+                    start_s=completion.flushed_s, end_s=now, wall_s=emit_wall,
+                    annotations={"label": int(completion.label),
+                                 "sample_index": int(request.sample_index)},
+                )
         return out

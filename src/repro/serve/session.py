@@ -45,6 +45,9 @@ class WindowRequest:
 
     ``seq`` orders requests within a session; ``created_s`` is the server
     clock at snapshot time, from which emission latency is measured.
+    ``trace`` is the request's trace context (or None when untraced) —
+    it rides through the batcher so the emit path can attach batch-wait,
+    predict and emit spans to the originating request's tree.
     """
 
     session_id: object          # opaque job/stream key
@@ -52,6 +55,7 @@ class WindowRequest:
     sample_index: int           # stream position when the window closed
     window: np.ndarray          # (window, n_sensors) contiguous float32 snapshot
     created_s: float = 0.0
+    trace: object = None        # TraceContext | None; opaque to the session
 
 
 @dataclass
@@ -107,13 +111,16 @@ class StreamSession:
         """The most recent full window, oldest row first (one memcpy)."""
         return self._ring[self._pos:self._pos + self.window].copy()
 
-    def push(self, samples: np.ndarray, *, now_s: float = 0.0) -> list[WindowRequest]:
+    def push(self, samples: np.ndarray, *, now_s: float = 0.0,
+             trace=None) -> list[WindowRequest]:
         """Buffer new telemetry rows; returns windows due for classification.
 
         ``samples`` is ``(k, n_sensors)`` in time order.  A request is cut
         when the buffer is full and either ``hop`` new samples arrived
         since the last request or no prediction has ever been produced or
         requested — exactly the online classifier's emission rule.
+        ``trace`` (a trace context or None) is stamped onto every request
+        this push cuts; window cutting itself never depends on it.
 
         Rows are consumed in bulk segments between emission points: the
         next emission row is computed from counters alone, so no per-row
@@ -154,6 +161,7 @@ class StreamSession:
                         sample_index=self._n_seen,
                         window=self._snapshot(),
                         created_s=now_s,
+                        trace=trace,
                     )
                 )
                 self._next_seq += 1

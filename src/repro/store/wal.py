@@ -33,12 +33,52 @@ import numpy as np
 
 from repro.resilience.faults import fault_point
 
-__all__ = ["WalRecord", "WriteAheadLog", "read_wal"]
+__all__ = ["WalRecord", "WriteAheadLog", "frame_payload", "iter_frames", "read_wal"]
 
 _MAGIC = b"RWL1"
 _FRAME_HEAD = struct.Struct("<4sI")     # magic, payload length
 _FRAME_TAIL = struct.Struct("<I")       # crc32
 _MAX_PAYLOAD = 1 << 31                  # sanity bound against garbage lengths
+
+
+def frame_payload(payload: bytes, *, magic: bytes = _MAGIC) -> bytes:
+    """Wrap ``payload`` in the WAL frame layout (magic + length + crc).
+
+    The frame format is generic over the payload — the telemetry WAL and
+    the trace sink's span log share it, distinguished only by ``magic``
+    (4 bytes).
+    """
+    if len(magic) != 4:
+        raise ValueError(f"magic must be 4 bytes, got {magic!r}")
+    return (
+        _FRAME_HEAD.pack(magic, len(payload))
+        + payload
+        + _FRAME_TAIL.pack(zlib.crc32(payload))
+    )
+
+
+def iter_frames(raw: bytes, *, magic: bytes = _MAGIC):
+    """Yield ``(payload, end_offset)`` for each intact frame of ``raw``.
+
+    Stops at the first truncated, mis-magic'd, or CRC-failing frame —
+    the torn-tail recovery rule.  ``end_offset`` is the byte offset just
+    past the frame, so the last yielded value is the valid prefix length.
+    """
+    offset = 0
+    while offset + _FRAME_HEAD.size + _FRAME_TAIL.size <= len(raw):
+        frame_magic, length = _FRAME_HEAD.unpack_from(raw, offset)
+        if frame_magic != magic or length > _MAX_PAYLOAD:
+            return
+        body_start = offset + _FRAME_HEAD.size
+        body_end = body_start + length
+        if body_end + _FRAME_TAIL.size > len(raw):
+            return                      # torn tail: frame never committed
+        payload = raw[body_start:body_end]
+        (crc,) = _FRAME_TAIL.unpack_from(raw, body_end)
+        if zlib.crc32(payload) != crc:
+            return
+        offset = body_end + _FRAME_TAIL.size
+        yield payload, offset
 
 
 @dataclass(frozen=True)
@@ -69,11 +109,7 @@ class WalRecord:
             },
             protocol=pickle.HIGHEST_PROTOCOL,
         )
-        return (
-            _FRAME_HEAD.pack(_MAGIC, len(payload))
-            + payload
-            + _FRAME_TAIL.pack(zlib.crc32(payload))
-        )
+        return frame_payload(payload)
 
     @property
     def key(self) -> tuple[int, int]:
@@ -105,25 +141,14 @@ def read_wal(path: str | Path) -> tuple[list[WalRecord], int]:
         return [], 0
     raw = path.read_bytes()
     records: list[WalRecord] = []
-    offset = 0
-    while offset + _FRAME_HEAD.size + _FRAME_TAIL.size <= len(raw):
-        magic, length = _FRAME_HEAD.unpack_from(raw, offset)
-        if magic != _MAGIC or length > _MAX_PAYLOAD:
-            break
-        body_start = offset + _FRAME_HEAD.size
-        body_end = body_start + length
-        if body_end + _FRAME_TAIL.size > len(raw):
-            break                       # torn tail: record never committed
-        payload = raw[body_start:body_end]
-        (crc,) = _FRAME_TAIL.unpack_from(raw, body_end)
-        if zlib.crc32(payload) != crc:
-            break
+    valid = 0
+    for payload, end in iter_frames(raw):
         try:
             records.append(_decode_payload(payload))
         except Exception:               # undecodable despite CRC: treat as torn
             break
-        offset = body_end + _FRAME_TAIL.size
-    return records, offset
+        valid = end
+    return records, valid
 
 
 class WriteAheadLog:

@@ -1,0 +1,476 @@
+"""The ``repro trace-bench`` harness: gates the tracing subsystem.
+
+Tracing is only trustworthy if it is *invisible* (the traced fleet
+behaves exactly like the untraced one), *complete* (every completed
+request reconstructs as one connected span tree, even across failover),
+and *cheap* (the serve hot path pays a bounded toll).  Each claim is a
+gate here, and a violated gate is a nonzero CLI exit:
+
+1. **Emission parity** — a fully-traced fleet replay with a worker
+   killed mid-run emits the exact sequence (order included) of its
+   untraced twin.  Tracing observes; it must never steer.
+2. **Connectivity** — at 4 workers with a mid-run kill, 100% of recorded
+   traces form a single connected tree; the killed request's trace
+   contains a failed span (``worker.lost``) and failover spans whose
+   ``links`` annotation names the original trace id.
+3. **Overhead** — on the serve hot path (workload shape read from the
+   committed ``BENCH_serve.json`` ``serve.replay`` entry), tracing at
+   the production sampling rate costs under ``max_overhead`` (default
+   5%) versus the untraced replay.  Full (sample=1.0) tracing is
+   measured and reported, but not gated — recording every span of a
+   stub-model replay is the worst case, priced for visibility.
+4. **WAL durability** — a sink flush killed mid-write (the
+   ``trace.sink.flush`` fault point) leaves earlier flushes readable and
+   the interrupted batch recoverable by retry, and a clean round trip
+   reproduces every span field exactly.
+
+Timing comparisons interleave the traced/untraced variants and compare
+*minimum* run times — the low-noise estimator — so the 5% gate measures
+tracing, not scheduler jitter.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.fleet.router import FleetRouter
+from repro.fleet.worker import FleetWorker
+from repro.perf.harness import BenchResult
+from repro.resilience.faults import FaultSpec, InjectedFault, inject
+from repro.serve.loadgen import FleetLoadGenerator, SimulatedClock
+from repro.serve.server import InferenceServer, ServeConfig
+from repro.trace.query import TraceQuery
+from repro.trace.sink import TraceSink, load_spans
+from repro.trace.span import Span, Tracer
+
+__all__ = ["TraceBenchConfig", "TraceBenchReport", "run_trace_bench"]
+
+
+class _ThresholdModel:
+    """O(1)-per-window stub: label 1 where mean sensor-0 exceeds 50.
+
+    Batch composition cannot affect any prediction, so traced and
+    untraced replays are comparable window for window.  Module-level so
+    subprocess workers could unpickle it.
+    """
+
+    def predict(self, X):
+        """Label each ``(window, sensors)`` slice by its sensor-0 mean."""
+        X = np.asarray(X)
+        return (X[:, :, 0].mean(axis=1) > 50.0).astype(np.int64)
+
+
+def _emission_keys(emissions) -> list[tuple]:
+    """Order-sensitive emission fingerprint for the parity gate."""
+    return [
+        (e.job_id, int(e.prediction.sample_index), int(e.prediction.label),
+         int(e.prediction.smoothed_label), float(e.prediction.confidence))
+        for e in emissions
+    ]
+
+
+@dataclass(frozen=True)
+class TraceBenchConfig:
+    """Everything one ``repro trace-bench`` run needs."""
+
+    seed: int = 2022
+    # failover/connectivity scenario (window == hop == chunk keeps the
+    # replay short while still cutting one window per tick per job)
+    n_jobs: int = 32
+    samples_per_tick: int = 90
+    max_samples_per_job: int = 1800     # 20 chunks/job
+    parity_workers: int = 4
+    kill_tick: int = 6
+    scenario_window: int = 90
+    # overhead scenario: workload shape; overridden by the committed
+    # BENCH_serve.json serve.replay entry when present
+    baseline_path: str = "BENCH_serve.json"
+    overhead_sessions: int = 64
+    overhead_samples_each: int = 900
+    overhead_window: int = 540
+    overhead_hop: int = 90
+    overhead_max_batch: int = 32
+    overhead_repeats: int = 9
+    sample: float = 1.0 / 16.0          # production sampling rate (gated)
+    max_overhead: float = 0.05
+    # WAL scenario
+    wal_spans: int = 64
+
+    @classmethod
+    def quick(cls, **overrides) -> "TraceBenchConfig":
+        """The CI smoke shape: shorter streams, fewer repeats."""
+        defaults = dict(
+            n_jobs=16,
+            max_samples_per_job=900,    # 10 chunks/job
+            kill_tick=3,
+            overhead_repeats=5,
+            # overhead shape stays at the committed baseline's — the
+            # sampled-job fraction only approximates the nominal rate
+            # when there are enough job streams to sample from
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+
+@dataclass
+class TraceBenchReport:
+    """Outcome of one trace-bench run; ``ok`` is the CI verdict."""
+
+    config: TraceBenchConfig
+    # 1. emission parity (traced vs untraced, both with the kill)
+    parity_ok: bool = False
+    n_emissions: int = 0
+    # 2. connectivity + failover span structure
+    n_traces: int = 0
+    n_spans: int = 0
+    connected_frac: float = 0.0
+    connectivity_ok: bool = False
+    failed_span_ok: bool = False
+    link_ok: bool = False
+    killed_worker: str = ""
+    # 3. overhead
+    overhead_sampled: float = float("nan")   # traced/untraced - 1, sampled
+    overhead_full: float = float("nan")      # traced/untraced - 1, sample=1.0
+    overhead_ok: bool = False
+    # 4. WAL durability
+    wal_ok: bool = False
+    # artifacts
+    stage_summary: dict = field(default_factory=dict)
+    example_trace: str = ""
+    results: list = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when every tracing invariant held."""
+        return (
+            self.parity_ok
+            and self.connectivity_ok
+            and self.failed_span_ok
+            and self.link_ok
+            and self.overhead_ok
+            and self.wal_ok
+        )
+
+    def format(self) -> str:
+        """Human-readable pass/fail table (the CLI's output)."""
+        def mark(flag: bool) -> str:
+            return "PASS" if flag else "FAIL"
+
+        lines = [
+            f"[{mark(self.parity_ok)}] traced killed-fleet replay emits "
+            f"identically to its untraced twin "
+            f"({self.n_emissions} emissions, order included)",
+            f"[{mark(self.connectivity_ok)}] span trees connected for "
+            f"{self.connected_frac * 100:.1f}% of {self.n_traces} traces "
+            f"at {self.config.parity_workers} workers "
+            f"({self.n_spans} spans, gate = 100%)",
+            f"[{mark(self.failed_span_ok)}] killed worker "
+            f"({self.killed_worker or '?'}) marked a span failed in the "
+            "in-flight request's trace",
+            f"[{mark(self.link_ok)}] failover rebuild/replay spans link "
+            "to the original trace id",
+            f"[{mark(self.overhead_ok)}] serve hot-path overhead "
+            f"{self.overhead_sampled * 100:+.2f}% at sample="
+            f"{self.config.sample:g} (gate < "
+            f"{self.config.max_overhead * 100:g}%; full tracing "
+            f"{self.overhead_full * 100:+.2f}%, unguarded)",
+            f"[{mark(self.wal_ok)}] span WAL survives a crash mid-flush "
+            "and round-trips exactly",
+        ]
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# scenario 1+2: traced failover replay
+
+def _synth_series(config: TraceBenchConfig, n_series: int = 8):
+    rng = np.random.default_rng(config.seed)
+    return [rng.random((config.max_samples_per_job, 7)) * 100.0
+            for _ in range(n_series)]
+
+
+def _killed_replay(config: TraceBenchConfig, series, *, traced: bool):
+    """One replay with worker w0 killed at ``kill_tick``; optionally traced."""
+    clock = SimulatedClock()
+    gen = FleetLoadGenerator(
+        series, None,
+        n_jobs=config.n_jobs,
+        samples_per_tick=config.samples_per_tick,
+        max_samples_per_job=config.max_samples_per_job,
+        seed=config.seed,
+        clock=clock,
+    )
+    sink = TraceSink() if traced else None
+    serve_config = ServeConfig(
+        window=config.scenario_window, hop=config.scenario_window,
+        flush_deadline_s=0.0,
+    )
+    workers = [
+        FleetWorker(
+            f"w{i}", _ThresholdModel(), serve_config, clock=clock,
+            tracer=(Tracer(sink, component=f"w{i}", worker_id=f"w{i}")
+                    if traced else None),
+        )
+        for i in range(config.parity_workers)
+    ]
+    router = FleetRouter(
+        workers, history=gen.job_stream,
+        tracer=Tracer(sink, component="router") if traced else None,
+    )
+    gen_tracer = Tracer(sink, component="gen") if traced else None
+    # Every router.step() trips fleet.worker.crash once per live worker,
+    # in sorted-id order — so hit kill_tick * n + 1 is w0's fault point
+    # at the top of tick kill_tick.
+    at_hit = config.kill_tick * config.parity_workers + 1
+    with inject(FaultSpec("fleet.worker.crash", at_hit=at_hit, mode="raise")):
+        report = gen.run(router, tracer=gen_tracer)
+    return report, router, sink
+
+
+def _failover_scenario(config: TraceBenchConfig, report: TraceBenchReport):
+    series = _synth_series(config)
+    traced_report, router, sink = _killed_replay(config, series, traced=True)
+    untraced_report, _, _ = _killed_replay(config, series, traced=False)
+
+    report.n_emissions = len(traced_report.emissions)
+    report.parity_ok = (
+        _emission_keys(traced_report.emissions)
+        == _emission_keys(untraced_report.emissions)
+    )
+    events = [e for e in router.events if e.kind == "failover"]
+    report.killed_worker = events[0].worker_id if events else ""
+
+    spans = sink.spans()
+    query = TraceQuery(spans)
+    trace_ids = query.trace_ids()
+    report.n_traces = len(trace_ids)
+    report.n_spans = len(spans)
+    connected = sum(query.is_connected(t) for t in trace_ids)
+    report.connected_frac = connected / len(trace_ids) if trace_ids else 0.0
+    report.connectivity_ok = bool(trace_ids) and connected == len(trace_ids)
+
+    failed = [(t, s) for t in trace_ids for s in query.failed_spans(t)]
+    report.failed_span_ok = any(
+        s.name == "worker.lost" and s.worker_id == report.killed_worker
+        for _, s in failed
+    )
+    links = [
+        (s.trace_id, s.annotations.get("links"))
+        for s in spans
+        if s.name in ("failover.rebuild", "failover.replay") and s.annotations
+    ]
+    report.link_ok = bool(links) and all(t == link for t, link in links)
+
+    report.stage_summary = query.stage_summary()
+    failed_traces = sorted({t for t, _ in failed})
+    if failed_traces:
+        report.example_trace = query.format_trace(failed_traces[0])
+    report.results.append(BenchResult(
+        bench="trace.failover",
+        config={
+            "n_jobs": config.n_jobs, "workers": config.parity_workers,
+            "kill_tick": config.kill_tick,
+        },
+        samples_per_s=float(report.n_spans),     # span count, for diffing
+        p50_s=report.connected_frac,
+        p95_s=float(len(failed)),
+    ))
+
+
+# ----------------------------------------------------------------------
+# scenario 3: hot-path overhead
+
+def _baseline_shape(config: TraceBenchConfig) -> dict:
+    """The serve.replay workload shape from the committed baselines.
+
+    Falls back to the config's own fields when ``BENCH_serve.json`` is
+    missing or has no ``serve.replay`` entry, so the bench still runs in
+    a bare checkout.
+    """
+    shape = {
+        "sessions": config.overhead_sessions,
+        "samples_each": config.overhead_samples_each,
+        "window": config.overhead_window,
+        "hop": config.overhead_hop,
+        "max_batch": config.overhead_max_batch,
+    }
+    path = Path(config.baseline_path)
+    if path.is_file():
+        try:
+            entries = json.loads(path.read_text())
+            entry = next(
+                e for e in entries if e.get("bench") == "serve.replay")
+        except (ValueError, StopIteration):
+            return shape
+        for key in ("window", "hop", "max_batch"):
+            if key in entry.get("config", {}):
+                shape[key] = int(entry["config"][key])
+        # Session count / stream length stay config-controlled so --quick
+        # can shrink the replay; geometry comes from the baseline.
+    return shape
+
+
+def _overhead_scenario(config: TraceBenchConfig, report: TraceBenchReport):
+    shape = _baseline_shape(config)
+    rng = np.random.default_rng(config.seed)
+    series = [rng.random((shape["samples_each"], 7)) * 100.0
+              for _ in range(8)]
+    serve_config = ServeConfig(
+        window=shape["window"], hop=shape["hop"],
+        max_batch=shape["max_batch"], flush_deadline_s=0.0,
+    )
+
+    def replay(sample: float | None):
+        clock = SimulatedClock()
+        gen = FleetLoadGenerator(
+            series, None,
+            n_jobs=shape["sessions"],
+            samples_per_tick=config.samples_per_tick,
+            seed=config.seed,
+            clock=clock,
+        )
+        if sample is None:
+            server = InferenceServer(_ThresholdModel(), serve_config,
+                                     clock=clock)
+            gen.run(server)
+            return
+        sink = TraceSink()
+        tracer = Tracer(sink, component="gen", sample=sample)
+        server = InferenceServer(
+            _ThresholdModel(), serve_config, clock=clock,
+            tracer=Tracer(sink, component="srv", worker_id="srv"),
+        )
+        gen.run(server, tracer=tracer)
+
+    variants = {
+        "untraced": lambda: replay(None),
+        "sampled": lambda: replay(config.sample),
+        "full": lambda: replay(1.0),
+    }
+    for fn in variants.values():        # warm caches and scratch buffers
+        fn()
+    times: dict[str, list[float]] = {name: [] for name in variants}
+    rounds_run = 0
+
+    def timed_round(names) -> None:
+        # Interleave variants so drift (thermal, background load) hits
+        # all alike, *rotating* who goes first each round — a fixed
+        # order hands the lead variant any boost-clock/post-collect
+        # advantage on every round, which a min-estimator then bakes in
+        # as bias.  The collector is paused so a GC cycle landing in one
+        # variant's window doesn't masquerade as tracing cost.
+        nonlocal rounds_run
+        names = list(names)
+        offset = rounds_run % len(names)
+        rounds_run += 1
+        for name in names[offset:] + names[:offset]:
+            gc.collect()
+            gc.disable()
+            try:
+                tic = time.perf_counter()
+                variants[name]()
+                times[name].append(time.perf_counter() - tic)
+            finally:
+                gc.enable()
+
+    for _ in range(max(1, config.overhead_repeats)):
+        timed_round(variants)
+
+    def sampled_ratio() -> float:
+        return min(times["sampled"]) / min(times["untraced"]) - 1.0
+
+    # The gate compares minima — and a minimum only sharpens with more
+    # samples (scheduler noise can inflate a run, never deflate it).  So
+    # a failing verdict earns extra gate-pair rounds before it stands:
+    # a genuinely-over-budget tracer keeps failing, a noise spike gets
+    # measured away instead of flaking CI.
+    for _ in range(3):
+        if sampled_ratio() < config.max_overhead:
+            break
+        for _ in range(max(1, config.overhead_repeats)):
+            timed_round(("untraced", "sampled"))
+
+    n_samples = shape["sessions"] * shape["samples_each"]
+    for name, series_t in times.items():
+        arr = np.asarray(series_t)
+        p50 = float(np.percentile(arr, 50))
+        report.results.append(BenchResult(
+            bench=f"trace.overhead.{name}",
+            config={**shape, "sample": (
+                0.0 if name == "untraced"
+                else config.sample if name == "sampled" else 1.0)},
+            samples_per_s=float(n_samples / p50) if p50 > 0 else float("inf"),
+            p50_s=p50,
+            p95_s=float(np.percentile(arr, 95)),
+        ))
+    base = min(times["untraced"])
+    report.overhead_sampled = sampled_ratio()
+    report.overhead_full = min(times["full"]) / base - 1.0
+    report.overhead_ok = report.overhead_sampled < config.max_overhead
+
+
+# ----------------------------------------------------------------------
+# scenario 4: WAL durability
+
+def _synthetic_spans(n: int, *, trace_prefix: str) -> list[Span]:
+    return [
+        Span(
+            trace_id=f"{trace_prefix}{i % 7}", span_id=f"s:{i}",
+            parent_id=None if i % 3 == 0 else f"s:{i - 1}",
+            name=("request", "route", "predict")[i % 3],
+            worker_id=f"w{i % 4}",
+            start_s=float(i), end_s=float(i) + 0.5, wall_s=1e-6 * i,
+            status="ok" if i % 5 else "failed",
+            annotations={"i": i} if i % 2 else None,
+        )
+        for i in range(n)
+    ]
+
+
+def _wal_scenario(config: TraceBenchConfig, report: TraceBenchReport):
+    first = _synthetic_spans(config.wal_spans, trace_prefix="a")
+    second = _synthetic_spans(config.wal_spans, trace_prefix="b")
+    with tempfile.TemporaryDirectory() as tmp:
+        sink = TraceSink(wal_dir=tmp, flush_every=1 << 30, fsync=False)
+        sink.extend(first)
+        sink.flush()
+        sink.extend(second)
+        # Crash mid-flush: the first batch must stay readable, the
+        # interrupted one must stay staged for retry.
+        try:
+            with inject(FaultSpec("trace.sink.flush", mode="raise")):
+                sink.flush()
+        except InjectedFault:
+            pass
+        torn_ok = load_spans(tmp) == first and sink.n_staged == len(second)
+        sink.flush()                     # retry re-writes the whole batch
+        round_trip_ok = load_spans(tmp) == first + second
+    report.wal_ok = torn_ok and round_trip_ok
+    report.results.append(BenchResult(
+        bench="trace.wal",
+        config={"spans": 2 * config.wal_spans},
+        p50_s=float(torn_ok),
+        p95_s=float(round_trip_ok),
+    ))
+
+
+# ----------------------------------------------------------------------
+
+def run_trace_bench(config: TraceBenchConfig | None = None) -> TraceBenchReport:
+    """Run every tracing gate; see the module docstring for the list."""
+    config = config or TraceBenchConfig()
+    report = TraceBenchReport(config=config)
+    tic = time.perf_counter()
+    _failover_scenario(config, report)
+    _overhead_scenario(config, report)
+    _wal_scenario(config, report)
+    report.wall_seconds = time.perf_counter() - tic
+    return report

@@ -1,0 +1,182 @@
+"""Bounded in-memory span store with optional WAL-backed persistence.
+
+The sink is the single collection point for completed spans.  In-process
+components (load generator, router, in-process workers) share one sink;
+a :class:`~repro.fleet.worker.SubprocessWorker` child buffers into its
+own private sink and :meth:`drain`\\ s it into every pipe response, so
+child spans merge into the parent's sink with at most one message of
+latency — and are simply lost when the child is SIGKILLed, exactly like
+any other unacknowledged state (the parent marks the affected route span
+failed instead; see ``tests/test_fleet_crash.py``).
+
+Memory is bounded: beyond ``capacity`` the oldest spans are evicted and
+counted in :attr:`dropped` — tracing must never be the component that
+OOMs the fleet it observes.
+
+Persistence reuses the telemetry store's WAL framing
+(:func:`repro.store.wal.frame_payload` / ``iter_frames``) with its own
+magic, so the span log inherits the same torn-tail recovery rule: a
+crash mid-flush (the ``trace.sink.flush`` fault point) leaves a torn
+frame that :func:`load_spans` ignores, and earlier flushes stay intact.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+
+from repro.resilience.faults import fault_point
+from repro.store.wal import frame_payload, iter_frames
+from repro.trace.span import Span
+
+__all__ = ["TraceSink", "load_spans"]
+
+_SPAN_MAGIC = b"RTS1"
+_WAL_NAME = "spans.wal"
+
+# Span (de)serialization as plain tuples: keeps the on-disk format
+# independent of dataclass internals and cheap to pickle in batches.
+_FIELDS = (
+    "trace_id", "span_id", "parent_id", "name", "worker_id",
+    "start_s", "end_s", "wall_s", "status", "annotations",
+)
+
+
+def _encode_batch(spans: list[Span]) -> bytes:
+    rows = [tuple(getattr(s, f) for f in _FIELDS) for s in spans]
+    return pickle.dumps(rows, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _decode_batch(payload: bytes) -> list[Span]:
+    return [Span(**dict(zip(_FIELDS, row))) for row in pickle.loads(payload)]
+
+
+def load_spans(wal_dir: str | Path) -> list[Span]:
+    """Read every intact flushed span from a sink's WAL directory.
+
+    Stops at the first torn or corrupt frame (crash-mid-flush leftovers);
+    everything before it was durably flushed.  Returns ``[]`` when the
+    directory or log does not exist.
+    """
+    path = Path(wal_dir) / _WAL_NAME
+    if not path.is_file():
+        return []
+    spans: list[Span] = []
+    for payload, _ in iter_frames(path.read_bytes(), magic=_SPAN_MAGIC):
+        try:
+            spans.extend(_decode_batch(payload))
+        except Exception:               # undecodable despite CRC: treat as torn
+            break
+    return spans
+
+
+class TraceSink:
+    """Collects completed spans; bounded in memory, optionally WAL-backed.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum spans held in memory; beyond it the oldest are evicted
+        (counted in :attr:`dropped`).
+    wal_dir:
+        When set, spans are also staged for durable flushing into
+        ``<wal_dir>/spans.wal``; ``None`` keeps the sink memory-only.
+    flush_every:
+        Auto-flush threshold: once this many spans are staged, the next
+        :meth:`append` triggers a :meth:`flush`.
+    fsync:
+        Whether flushes fsync (benches turn it off; crash tests leave it
+        on).
+    """
+
+    def __init__(self, *, capacity: int = 65536,
+                 wal_dir: str | Path | None = None,
+                 flush_every: int = 256, fsync: bool = True):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.wal_dir = Path(wal_dir) if wal_dir is not None else None
+        self.flush_every = int(flush_every)
+        self.fsync = bool(fsync)
+        self.dropped = 0
+        self._spans: list[Span] = []
+        self._staged: list[Span] = []
+        self._trimmed = False
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def append(self, span: Span) -> None:
+        """Record one completed span (evicting the oldest at capacity)."""
+        self._spans.append(span)
+        if len(self._spans) > self.capacity:
+            # Evict in one slice, not per-append: list.pop(0) is O(n).
+            excess = len(self._spans) - self.capacity
+            del self._spans[:excess]
+            self.dropped += excess
+        if self.wal_dir is not None:
+            self._staged.append(span)
+            if len(self._staged) >= self.flush_every:
+                self.flush()
+
+    def extend(self, spans) -> None:
+        """Merge spans recorded elsewhere (e.g. shipped over a worker pipe)."""
+        for span in spans:
+            self.append(span)
+
+    def spans(self) -> list[Span]:
+        """The retained spans, oldest first (a copy)."""
+        return list(self._spans)
+
+    def drain(self) -> list[Span]:
+        """Remove and return every retained span (subprocess shipping)."""
+        out, self._spans = self._spans, []
+        return out
+
+    @property
+    def n_staged(self) -> int:
+        """Spans staged for the WAL but not yet flushed."""
+        return len(self._staged)
+
+    def _trim_torn_tail(self, path: Path) -> None:
+        if self._trimmed:
+            return
+        self._trimmed = True
+        if not path.is_file():
+            return
+        valid = 0
+        for _, end in iter_frames(path.read_bytes(), magic=_SPAN_MAGIC):
+            valid = end
+        if valid < path.stat().st_size:
+            with path.open("rb+") as handle:
+                handle.truncate(valid)
+
+    def flush(self) -> int:
+        """Write staged spans to the WAL as one frame; returns spans flushed.
+
+        A crash mid-write (``trace.sink.flush``) leaves a torn tail that
+        recovery ignores; the batch stays staged so a retry re-writes it
+        whole, after re-trimming the tear.
+        """
+        if self.wal_dir is None or not self._staged:
+            return 0
+        path = self.wal_dir / _WAL_NAME
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._trim_torn_tail(path)
+        frame = frame_payload(_encode_batch(self._staged), magic=_SPAN_MAGIC)
+        try:
+            with path.open("ab") as handle:
+                half = len(frame) // 2
+                handle.write(frame[:half])
+                fault_point("trace.sink.flush")
+                handle.write(frame[half:])
+                if self.fsync:
+                    handle.flush()
+                    os.fsync(handle.fileno())
+        except BaseException:
+            self._trimmed = False
+            raise
+        n = len(self._staged)
+        self._staged = []
+        return n

@@ -13,6 +13,7 @@ from repro.fleet.bench import _ThresholdModel
 from repro.fleet.ring import HashRing
 from repro.resilience.faults import FaultSpec
 from repro.serve import FleetLoadGenerator, ServeConfig, SimulatedClock
+from repro.trace import TraceQuery, TraceSink, Tracer
 
 
 def _series(n_rows, seed=11, n_series=4):
@@ -94,6 +95,64 @@ def test_sigkilled_child_fails_over_with_parity():
     events = [e for e in router.events if e.kind == "failover"]
     assert [e.worker_id for e in events] == [victim]
     assert router.worker_ids == [survivor]
+
+
+def test_sigkill_mid_traced_request_marks_span_failed_and_links_failover():
+    victim = HashRing(["w0", "w1"]).owner(0)
+    survivor = "w1" if victim == "w0" else "w0"
+    clock = SimulatedClock()
+    gen = _gen(clock)
+    sink = TraceSink()
+    sub = SubprocessWorker(victim, _ThresholdModel(), _config(), clock=clock,
+                           trace_sink=sink)
+    router = FleetRouter(
+        [sub,
+         FleetWorker(survivor, _ThresholdModel(), _config(), clock=clock,
+                     tracer=Tracer(sink, component=survivor,
+                                   worker_id=survivor))],
+        clock=clock, history=gen.job_stream,
+        tracer=Tracer(sink, component="router"),
+    )
+
+    def on_tick(tick, emissions):
+        if tick == 1 and victim in router.worker_ids:
+            sub.kill()
+
+    try:
+        report = gen.run(router, on_tick=on_tick,
+                         tracer=Tracer(sink, component="gen"))
+    finally:
+        for wid in router.worker_ids:
+            router.worker(wid).close()
+
+    # tracing must not perturb recovery: same emissions as the untraced
+    # twin of test_sigkilled_child_fails_over_with_parity's clean fleet
+    clean_clock = SimulatedClock()
+    clean_gen = _gen(clean_clock)
+    clean = clean_gen.run(FleetRouter(
+        [FleetWorker(w, _ThresholdModel(), _config(), clock=clean_clock)
+         for w in ("w0", "w1")],
+        clock=clean_clock, history=clean_gen.job_stream,
+    ))
+    assert _trace(report.emissions) == _trace(clean.emissions)
+
+    query = TraceQuery(sink.spans())
+    lost = [s for s in sink.spans() if s.name == "worker.lost"]
+    assert lost, "expected a worker.lost span for the killed worker's jobs"
+    assert all(s.failed and s.worker_id == victim for s in lost)
+    # every in-flight request the victim held gets failover spans that
+    # link back to the original trace, and the tree stays connected
+    for span in lost:
+        replays = [s for s in sink.spans()
+                   if s.trace_id == span.trace_id
+                   and s.name == "failover.replay"]
+        assert replays and all(
+            s.annotations["links"] == span.trace_id for s in replays)
+        assert query.is_connected(span.trace_id)
+    # spans recorded by the child *before* the kill shipped back on each
+    # pipe response — serve-stage work from the victim is visible
+    assert any(s.worker_id == victim and s.name == "ingest"
+               for s in sink.spans())
 
 
 def test_fault_spec_shipped_to_child_sigkills_it():

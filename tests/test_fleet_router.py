@@ -395,6 +395,39 @@ class TestMetricsMerge:
             assert got[key] == truth[key], key
         assert got["mean"] == pytest.approx(truth["mean"])
 
+    def test_registry_merge_preserves_nondefault_histogram_capacity(self):
+        # Regression: a merged-in histogram created with a non-default
+        # capacity must not be re-created at the default capacity on the
+        # merging registry — that silently re-decimates worker latency
+        # distributions during fleet aggregation.
+        part = MetricsRegistry()
+        big = part.histogram("lat", capacity=4096)
+        for i in range(3000):
+            big.observe(i * 1e-4)
+        merged = MetricsRegistry()
+        merged.merge(part)
+        assert merged.histogram("lat").capacity == 4096
+        # no decimation happened: the full distribution survived intact
+        assert len(merged.histogram("lat")._values) == 3000
+        assert merged.histogram("lat").percentile(50) == pytest.approx(
+            big.percentile(50))
+
+    def test_registry_merge_of_decimated_histograms_with_mixed_capacities(self):
+        small, large = MetricsRegistry(), MetricsRegistry()
+        for i in range(5000):
+            small.histogram("lat", capacity=32).observe(i * 1e-3)
+            large.histogram("lat", capacity=512).observe(i * 1e-3)
+        merged = MetricsRegistry()
+        merged.merge(large)
+        merged.merge(small)
+        h = merged.histogram("lat")
+        assert h.capacity == 512            # first-merged capacity sticks
+        assert h.count == 10000
+        # extremes are exact even though both sources decimated heavily
+        assert h.percentile(0) == 0.0
+        assert h.percentile(100) == pytest.approx(4.999)
+        assert abs(h.percentile(50) - 2.5) < 0.5
+
     def test_fleet_metrics_aggregates_router_and_workers(self):
         clock = SimulatedClock()
         gen = _gen(clock)

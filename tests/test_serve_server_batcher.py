@@ -281,6 +281,18 @@ class TestMetrics:
         # Percentiles stay approximately right after decimation.
         assert abs(h.percentile(50) - 500) < 50
 
+    def test_histogram_extreme_percentiles_exact_after_decimation(self):
+        # p0/p100 come from the exactly-tracked min/max, never from the
+        # decimated reservoir — which very likely dropped both extremes.
+        h = Histogram("lat", capacity=16)
+        values = [500.0] * 200 + [1.0] + [500.0] * 200 + [9999.0]
+        for i, v in enumerate(values):
+            h.observe(v)
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 9999.0
+        s = h.summary()
+        assert (s["min"], s["max"]) == (1.0, 9999.0)
+
     def test_report_renders_every_metric(self):
         registry = MetricsRegistry()
         registry.counter("requests").inc(3)
