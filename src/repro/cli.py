@@ -188,6 +188,29 @@ def build_parser() -> argparse.ArgumentParser:
                              "BENCH_train.json / BENCH_infer.json "
                              "(default: current directory)")
 
+    p_train = sub.add_parser(
+        "train-bench",
+        help="gate fused backward kernels against their slow references "
+             "and data-parallel training against the serial trajectory "
+             "(bitwise), then measure training throughput into "
+             "BENCH_train.json",
+    )
+    p_train.add_argument("--seed", type=int, default=0,
+                         help="bench data seed (default 0)")
+    p_train.add_argument("--scale", type=float, default=1.0,
+                         help="workload size multiplier (0.05 = CI smoke, "
+                              "1.0 = committed baseline shape)")
+    p_train.add_argument("--repeats", type=int, default=3,
+                         help="timed runs per bench (default 3)")
+    p_train.add_argument("--warmup", type=int, default=1,
+                         help="untimed warmup runs per bench (default 1)")
+    p_train.add_argument("--n-jobs", type=int, default=4,
+                         help="gradient worker processes for the parallel "
+                              "variants (default 4)")
+    p_train.add_argument("--out", default="BENCH_train.json",
+                         help="output path for the bench JSON "
+                              "(default: BENCH_train.json)")
+
     p_store = sub.add_parser(
         "store-bench",
         help="ingest a simulated release into the crash-safe telemetry "
@@ -536,6 +559,32 @@ def _cmd_perf_bench(args) -> int:
     return 0
 
 
+def _cmd_train_bench(args) -> int:
+    from repro.perf import ParityError, run_train_bench, write_bench_json
+
+    try:
+        results, failures, checked = run_train_bench(
+            scale=args.scale, warmup=args.warmup, repeats=args.repeats,
+            n_jobs=args.n_jobs, seed=args.seed,
+        )
+    except ParityError as exc:
+        print(f"PARITY FAILURE: {exc}", file=sys.stderr)
+        return 1
+    print(f"parity: {len(checked)} gates bit-identical "
+          f"({', '.join(checked)})")
+    path = write_bench_json(args.out, results)
+    print(f"# {path}")
+    for result in results:
+        print(f"  {result}")
+    if failures:
+        for msg in failures:
+            print(f"THROUGHPUT GATE FAILED: {msg}", file=sys.stderr)
+        return 1
+    if args.scale >= 1.0:
+        print("throughput: all gates met")
+    return 0
+
+
 def _cmd_store_bench(args) -> int:
     from repro.perf import ParityError, write_bench_json
     from repro.store.bench import StoreBenchConfig, run_store_bench
@@ -643,6 +692,7 @@ def main(argv: list[str] | None = None) -> int:
         "monitor-bench": _cmd_monitor_bench,
         "resilience-bench": _cmd_resilience_bench,
         "perf-bench": _cmd_perf_bench,
+        "train-bench": _cmd_train_bench,
         "store-bench": _cmd_store_bench,
         "fleet-bench": _cmd_fleet_bench,
         "trace-bench": _cmd_trace_bench,

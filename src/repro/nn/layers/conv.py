@@ -55,7 +55,15 @@ class Conv1d(Module):
     """Valid (no-padding) 1-D convolution, ``(N, T, C_in) → (N, T', C_out)``.
 
     Weight shape is ``(C_out, C_in, K)``; output ``T' = (T − K)//stride + 1``.
+
+    With ``fused_backward`` (the default) the gradient contractions write
+    into preallocated per-shape scratch reused across batches; the
+    allocating reference is kept as :meth:`_backward_slow` and produces
+    bit-identical gradients (same einsum contractions, same scatter
+    order).  Scratch is per-process and excluded from pickling.
     """
+
+    fused_backward: bool = True
 
     def __init__(
         self,
@@ -88,6 +96,12 @@ class Conv1d(Module):
             if bias
             else None
         )
+        self._bwd_scratch: dict | None = None
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_bwd_scratch"] = None  # per-process scratch, never persisted
+        return state
 
     def forward(self, x: Tensor) -> Tensor:
         """Compute the layer's output for the given input."""
@@ -118,7 +132,8 @@ class Conv1d(Module):
 
         parents = (x, w) if b is None else (x, w, b)
 
-        def backward(g):
+        def backward_slow(g):
+            # Allocating reference: one fresh array per gradient.
             if w.requires_grad:
                 w._accum(np.einsum("nto,ntck->ock", g, windows, optimize=True))
             if b is not None and b.requires_grad:
@@ -134,11 +149,51 @@ class Conv1d(Module):
                     dx = dx[:, pad:-pad, :]
                 x._accum(dx)
 
+        def backward_fused(g):
+            # Same contractions and scatter order as the reference, but
+            # every gradient lands in scratch reused across batches (the
+            # engine copies on _accum, so reuse is safe).
+            s = self._bwd_scratch
+            if s is None or s["key"] != x_data.shape:
+                s = self._bwd_scratch = {
+                    "key": x_data.shape,
+                    "dw": np.empty_like(w.data),
+                    "db": None if b is None else np.empty_like(b.data),
+                    "dxw": np.empty(windows.shape, dtype=x_data.dtype),
+                    "dx": np.empty_like(x_data),
+                }
+            if w.requires_grad:
+                np.einsum("nto,ntck->ock", g, windows,
+                          out=s["dw"], optimize=True)
+                w._accum(s["dw"])
+            if b is not None and b.requires_grad:
+                np.sum(g, axis=(0, 1), out=s["db"])
+                b._accum(s["db"])
+            if x.requires_grad:
+                dxw = s["dxw"]
+                np.einsum("nto,ock->ntck", g, w.data, out=dxw, optimize=True)
+                dx = s["dx"]
+                dx.fill(0.0)
+                for k in range(K):
+                    dx[:, offsets + k, :] += dxw[:, :, :, k]
+                if pad:
+                    dx = dx[:, pad:-pad, :]
+                x._accum(dx)
+
+        backward = backward_fused if self.fused_backward else backward_slow
         return Tensor.from_op(out, parents, backward)
 
 
 class MaxPool1d(Module):
-    """Non-overlapping (by default) temporal max pooling, channels-last."""
+    """Non-overlapping (by default) temporal max pooling, channels-last.
+
+    With ``fused_backward`` (the default) the scatter target and index
+    grids live in per-shape scratch reused across batches; the allocating
+    reference is kept as the ``backward_slow`` closure (toggle
+    ``fused_backward=False``) and is bit-identical.
+    """
+
+    fused_backward: bool = True
 
     def __init__(self, kernel_size: int, stride: int | None = None):
         super().__init__()
@@ -148,6 +203,12 @@ class MaxPool1d(Module):
         self.stride = stride if stride is not None else kernel_size
         if self.stride < 1:
             raise ValueError(f"stride must be >= 1, got {self.stride}")
+        self._bwd_scratch: dict | None = None
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_bwd_scratch"] = None  # per-process scratch, never persisted
+        return state
 
     def forward(self, x: Tensor) -> Tensor:
         """Compute the layer's output for the given input."""
@@ -167,7 +228,7 @@ class MaxPool1d(Module):
         n, t_out, c = out.shape
         offsets = np.arange(t_out) * stride
 
-        def backward(g):
+        def backward_slow(g):
             if not x.requires_grad:
                 return
             dx = np.zeros_like(x.data)
@@ -177,4 +238,22 @@ class MaxPool1d(Module):
             np.add.at(dx, (n_idx, time_idx, c_idx), g)
             x._accum(dx)
 
+        def backward_fused(g):
+            if not x.requires_grad:
+                return
+            s = self._bwd_scratch
+            if s is None or s["key"] != (x.shape, out.shape):
+                s = self._bwd_scratch = {
+                    "key": (x.shape, out.shape),
+                    "dx": np.empty_like(x.data),
+                    "n_idx": np.arange(n)[:, None, None],
+                    "c_idx": np.arange(c)[None, None, :],
+                }
+            dx = s["dx"]
+            dx.fill(0.0)
+            time_idx = offsets[None, :, None] + arg
+            np.add.at(dx, (s["n_idx"], time_idx, s["c_idx"]), g)
+            x._accum(dx)
+
+        backward = backward_fused if self.fused_backward else backward_slow
         return Tensor.from_op(out, (x,), backward)

@@ -6,7 +6,7 @@ import numpy as np
 
 from repro.nn.init import kaiming_uniform, uniform_fan_in
 from repro.nn.module import Module, Parameter
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, is_grad_enabled
 from repro.utils.rng import as_generator
 
 __all__ = ["Linear"]
@@ -16,7 +16,16 @@ class Linear(Module):
     """``y = x @ W + b`` with weight shape ``(in_features, out_features)``.
 
     Accepts any leading batch shape; the last axis must be ``in_features``.
+
+    With ``fused_backward`` (the default) the layer is a single graph node
+    whose backward computes ``dW = flatᵀ·g``, ``db = Σ g``, and
+    ``dx = g·Wᵀ`` directly into preallocated scratch — bit-identical to the
+    per-op chain (reshape → matmul → add → reshape) kept in
+    :meth:`_forward_slow` as the parity reference.  Scratch buffers are
+    per-process and excluded from pickling.
     """
+
+    fused_backward: bool = True
 
     def __init__(
         self,
@@ -41,13 +50,21 @@ class Linear(Module):
             if bias
             else None
         )
+        self._bwd_scratch: dict | None = None
 
-    def forward(self, x: Tensor) -> Tensor:
-        """Compute the layer's output for the given input."""
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_bwd_scratch"] = None  # per-process scratch, never persisted
+        return state
+
+    def _check_input(self, x: Tensor) -> None:
         if x.shape[-1] != self.in_features:
             raise ValueError(
                 f"expected last dim {self.in_features}, got {x.shape[-1]}"
             )
+
+    def _forward_slow(self, x: Tensor) -> Tensor:
+        """Per-op reference chain; gradient parity target for the fused path."""
         flat = x.reshape(-1, self.in_features) if x.ndim != 2 else x
         out = flat @ self.weight
         if self.bias is not None:
@@ -55,3 +72,44 @@ class Linear(Module):
         if x.ndim != 2:
             out = out.reshape(*x.shape[:-1], self.out_features)
         return out
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Compute the layer's output for the given input."""
+        self._check_input(x)
+        if not self.fused_backward:
+            return self._forward_slow(x)
+        w, b = self.weight, self.bias
+        in_f, out_f = self.in_features, self.out_features
+        flat = x.data.reshape(-1, in_f)
+        out = flat @ w.data
+        if b is not None:
+            np.add(out, b.data, out=out)
+        out = out.reshape(*x.shape[:-1], out_f)
+        if not is_grad_enabled():
+            return Tensor(out)
+
+        def backward(g):
+            g_flat = g.reshape(-1, out_f)
+            s = self._bwd_scratch
+            if s is None or s["rows"] != g_flat.shape[0]:
+                s = self._bwd_scratch = {
+                    "rows": g_flat.shape[0],
+                    "dw": np.empty_like(w.data),
+                    "db": None if b is None else np.empty_like(b.data),
+                    "dx": np.empty((g_flat.shape[0], in_f), dtype=w.data.dtype),
+                }
+            if w.requires_grad:
+                np.matmul(flat.T, g_flat, out=s["dw"])
+                w._accum(s["dw"])
+            if b is not None and b.requires_grad:
+                # The reference adds the bias on the *flattened* 2-D
+                # activations, so its unbroadcast grad is always a sum over
+                # the single leading axis.
+                np.sum(g_flat, axis=0, out=s["db"])
+                b._accum(s["db"])
+            if x.requires_grad:
+                np.matmul(g_flat, w.data.T, out=s["dx"])
+                x._accum(s["dx"].reshape(x.shape))
+
+        parents = (x, w) if b is None else (x, w, b)
+        return Tensor.from_op(out, parents, backward)

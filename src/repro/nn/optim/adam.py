@@ -36,6 +36,9 @@ class Adam(Optimizer):
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
         self._t = 0
+        # Per-parameter step scratch (two buffers each), allocated on first
+        # use and reused across steps; excluded from state_dict.
+        self._scratch: list[tuple[np.ndarray, np.ndarray]] | None = None
 
     def state_dict(self) -> dict:
         """Copy of lr, step count, and first/second moment estimates."""
@@ -58,22 +61,66 @@ class Adam(Optimizer):
         self._t = int(state["t"])
 
     def step(self) -> None:
-        """Apply one optimization update from accumulated gradients."""
+        """Apply one optimization update from accumulated gradients.
+
+        When every scalar hyperparameter is a Python float (NEP 50 weak
+        promotion: all arithmetic stays float32) the update runs through
+        preallocated scratch buffers — the same ufunc sequence as the
+        allocating form, so results are bit-identical.  A non-float scalar
+        (e.g. a schedule-set ``np.float64`` lr, which intentionally promotes
+        the update to float64) takes the legacy allocating path so the
+        historical promotion behaviour is preserved exactly.
+        """
         self._t += 1
         b1, b2 = self.betas
         bc1 = 1.0 - b1**self._t
         bc2 = 1.0 - b2**self._t
-        for p, m, v in zip(self.params, self._m, self._v):
+        wd = self.weight_decay
+        fast = (
+            type(self.lr) is float and type(self.eps) is float
+            and type(b1) is float and type(b2) is float
+            and (not wd or type(wd) is float)
+        )
+        if fast and self._scratch is None:
+            self._scratch = [
+                (np.empty_like(p.data), np.empty_like(p.data))
+                for p in self.params
+            ]
+        for i, (p, m, v) in enumerate(zip(self.params, self._m, self._v)):
             if p.grad is None:
                 continue
             g = p.grad
-            if self.weight_decay and not self.decoupled_weight_decay:
-                g = g + self.weight_decay * p.data
+            if not fast:
+                if wd and not self.decoupled_weight_decay:
+                    g = g + wd * p.data
+                m *= b1
+                m += (1.0 - b1) * g
+                v *= b2
+                v += (1.0 - b2) * g * g
+                update = (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+                if wd and self.decoupled_weight_decay:
+                    update = update + wd * p.data
+                p.data -= self.lr * update
+                continue
+            u, w = self._scratch[i]
+            if wd and not self.decoupled_weight_decay:
+                np.multiply(p.data, wd, out=w)
+                np.add(g, w, out=w)
+                g = w
             m *= b1
-            m += (1.0 - b1) * g
+            np.multiply(g, 1.0 - b1, out=u)
+            m += u
             v *= b2
-            v += (1.0 - b2) * g * g
-            update = (m / bc1) / (np.sqrt(v / bc2) + self.eps)
-            if self.weight_decay and self.decoupled_weight_decay:
-                update = update + self.weight_decay * p.data
-            p.data -= self.lr * update
+            np.multiply(g, 1.0 - b2, out=u)
+            np.multiply(u, g, out=u)
+            v += u
+            np.divide(m, bc1, out=u)
+            np.divide(v, bc2, out=w)
+            np.sqrt(w, out=w)
+            np.add(w, self.eps, out=w)
+            np.divide(u, w, out=u)
+            if wd and self.decoupled_weight_decay:
+                np.multiply(p.data, wd, out=w)
+                np.add(u, w, out=u)
+            np.multiply(u, self.lr, out=u)
+            p.data -= u

@@ -58,7 +58,13 @@ class Optimizer:
         if norm > max_norm > 0:
             scale = max_norm / (norm + 1e-12)
             for p in self.params:
-                if p.grad is not None:
+                if p.grad is None:
+                    continue
+                if p.grad is p._grad_buf:
+                    # Scale the engine-owned buffer in place (same ufunc,
+                    # bit-identical to the old reallocating multiply).
+                    np.multiply(p.grad, scale, out=p.grad)
+                else:
                     p.grad = p.grad * scale
         return norm
 

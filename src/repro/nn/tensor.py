@@ -80,7 +80,8 @@ class Tensor:
     a scalar result to populate ``grad`` on all reachable leaves.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
+                 "name", "_grad_buf")
     __array_priority__ = 100  # make ndarray defer to Tensor in mixed ops
 
     def __init__(
@@ -93,6 +94,7 @@ class Tensor:
         self.data = np.asarray(data, dtype=dtype)
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self.grad: np.ndarray | None = None
+        self._grad_buf: np.ndarray | None = None
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
         self.name = name
@@ -124,15 +126,32 @@ class Tensor:
         return out
 
     def _accum(self, grad: np.ndarray) -> None:
-        """Accumulate a gradient contribution (used inside backward fns)."""
+        """Accumulate a gradient contribution (used inside backward fns).
+
+        The first contribution is *copied* into a persistent per-tensor
+        buffer (``_grad_buf``, allocated once and refilled in place every
+        step — ``zero_grad`` clears ``grad`` but keeps the buffer); later
+        contributions add in place.  Copy-then-add produces bit-identical
+        values to the historical alloc-per-accum behaviour, and because the
+        engine never stores a caller's array by reference, fused layers may
+        pass scratch buffers they will overwrite on the next batch.
+        """
         if not self.requires_grad:
             return
         grad = np.asarray(grad, dtype=self.data.dtype)
         if grad.shape != self.data.shape:
             grad = _unbroadcast(grad, self.data.shape)
         if self.grad is None:
-            self.grad = grad.copy() if grad.base is not None else grad
+            buf = self._grad_buf
+            if buf is None or buf.shape != grad.shape:
+                buf = self._grad_buf = np.empty_like(self.data)
+            np.copyto(buf, grad)
+            self.grad = buf
+        elif self.grad is self._grad_buf:
+            np.add(self.grad, grad, out=self.grad)
         else:
+            # ``grad`` was assigned from outside (not our buffer): don't
+            # mutate an array we may not own.
             self.grad = self.grad + grad
 
     def backward(self, grad: np.ndarray | None = None) -> None:
@@ -171,8 +190,29 @@ class Tensor:
                     node.grad = None
 
     def zero_grad(self) -> None:
-        """Clear accumulated gradients."""
+        """Clear accumulated gradients.
+
+        The gradient *buffer* is kept: the next backward pass refills it in
+        place instead of allocating a fresh array (see :meth:`_accum`).
+        """
         self.grad = None
+
+    # ------------------------------------------------------------------
+    # Pickling (used for checkpoints and worker dispatch): the gradient
+    # buffer is per-process scratch and never persisted.
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        d = getattr(self, "__dict__", None)
+        slots = {s: getattr(self, s) for s in Tensor.__slots__}
+        slots["_grad_buf"] = None
+        return (dict(d) if d else None, slots)
+
+    def __setstate__(self, state):
+        d, slots = state
+        if d:
+            self.__dict__.update(d)
+        for k, v in slots.items():
+            object.__setattr__(self, k, v)
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but outside the graph."""

@@ -1,0 +1,388 @@
+"""Shared-memory data-parallel gradient workers, bit-identical to serial.
+
+The :class:`~repro.nn.training.trainer.Trainer` can split every shuffled
+mini-batch into fixed-size *shards* and compute shard gradients on a pool
+of persistent worker processes.  The design goal is determinism first:
+
+* **Fixed shard decomposition.**  Shard boundaries depend only on
+  ``shard_size`` and the batch — never on the worker count — so the same
+  shards exist at ``n_jobs=1`` and ``n_jobs=8``.
+* **Fixed reduction order.**  The parent reduces shard gradients *in shard
+  order* with plain float32 ``np.add`` (:func:`reduce_flat_grads`) and the
+  serial path runs the identical code over the identical per-shard flat
+  vectors, so loss/accuracy trajectories and checkpoints are bit-identical
+  at any ``n_jobs``.
+* **Derived per-shard RNG.**  Stochastic layers (dropout) draw from a
+  per-batch, per-shard stream seeded as ``SeedSequence([s0, shard_idx])``
+  where ``s0`` is drawn once per batch from the module's own generator in
+  the *parent* — so mask streams do not depend on which process computes a
+  shard, and the parent generators remain the single checkpointable truth.
+
+Data flows through :class:`~repro.parallel.shared.SharedArray` blocks:
+the training set (X, y) is shared once per ``fit``, current parameters are
+broadcast through a flat parameter block before every batch, and workers
+write shard gradients into their shard's row of a shared ``(max_shards,
+P)`` gradient block — no gradient bytes ever cross a pipe.
+
+Workers survive across batches, epochs, and successive ``fit`` calls.  A
+worker that dies mid-batch (preemption, OOM kill — rehearsed via the
+``train.worker.crash`` fault point) is respawned and its unfinished shards
+are redispatched; because shard slots and reduction order are fixed, the
+recovered batch is bit-identical to an undisturbed one.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import multiprocessing as mp
+import multiprocessing.connection
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+from repro.parallel.shared import SharedArray, shared_from_array
+from repro.resilience.faults import FaultInjector, FaultSpec, fault_point, install
+
+__all__ = [
+    "GradientWorkerPool",
+    "flatten_grads",
+    "param_layout",
+    "reduce_flat_grads",
+    "scatter_flat_grads",
+]
+
+
+# ----------------------------------------------------------------------
+# Flat parameter/gradient packing
+# ----------------------------------------------------------------------
+def param_layout(params: list[Parameter]) -> tuple[list[tuple[int, int]], int]:
+    """``[(start, stop), ...]`` slices into a flat float32 vector.
+
+    The order is the model's ``parameters()`` traversal order, which is
+    deterministic and identical in the parent and every worker replica.
+    """
+    layout: list[tuple[int, int]] = []
+    offset = 0
+    for p in params:
+        if p.data.dtype != np.float32 or not p.data.flags["C_CONTIGUOUS"]:
+            raise ValueError(
+                f"data-parallel training requires contiguous float32 "
+                f"parameters, got {p.data.dtype} for {p.name!r}"
+            )
+        layout.append((offset, offset + p.data.size))
+        offset += p.data.size
+    return layout, offset
+
+
+def store_flat_params(params, layout, flat: np.ndarray) -> None:
+    """Pack current parameter values into ``flat`` (parent → shared block)."""
+    for p, (a, b) in zip(params, layout):
+        np.copyto(flat[a:b], p.data.reshape(-1))
+
+
+def load_flat_params(params, layout, flat: np.ndarray) -> None:
+    """Load parameter values from ``flat`` in place (shared block → worker)."""
+    for p, (a, b) in zip(params, layout):
+        np.copyto(p.data.reshape(-1), flat[a:b])
+
+
+def flatten_grads(params, layout, out: np.ndarray) -> None:
+    """Pack accumulated gradients into ``out``; absent grads pack as zero."""
+    for p, (a, b) in zip(params, layout):
+        if p.requires_grad and p.grad is not None:
+            np.copyto(out[a:b], p.grad.reshape(-1))
+        else:
+            out[a:b] = 0.0
+
+
+def reduce_flat_grads(gblock: np.ndarray, n_shards: int, out: np.ndarray) -> None:
+    """Serial float32 reduction over shard rows, **in shard order**.
+
+    ``out = ((g_0 + g_1) + g_2) + ...`` with one ``np.add`` per shard —
+    the association every path (serial and parallel, any worker count)
+    must share for bit-identical trajectories.
+    """
+    np.copyto(out, gblock[0])
+    for s in range(1, n_shards):
+        np.add(out, gblock[s], out=out)
+
+
+def scatter_flat_grads(params, layout, flat: np.ndarray) -> None:
+    """Hand the reduced flat gradient to each parameter via ``_accum``.
+
+    ``_accum`` copies into the parameter's own grad buffer, so ``flat``
+    (a reduction buffer reused every batch) is never aliased.
+    """
+    for p, (a, b) in zip(params, layout):
+        if p.requires_grad:
+            p._accum(flat[a:b].reshape(p.data.shape))
+
+
+def shard_rngs(s0s: dict[str, int], shard_idx: int) -> dict[str, np.random.Generator]:
+    """Derived per-shard generators: ``SeedSequence([s0, shard_idx])``.
+
+    Identical in the parent's serial path and in any worker, for any
+    assignment of shards to workers.
+    """
+    return {
+        name: np.random.default_rng(np.random.SeedSequence([s0, shard_idx]))
+        for name, s0 in s0s.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+def _worker_main(conn, payload: bytes) -> None:
+    """Persistent gradient worker: attach shared blocks, serve batches."""
+    cfg = pickle.loads(payload)
+    if cfg["faults"]:
+        install(FaultInjector(list(cfg["faults"])))
+    model: Module = cfg["model"]
+    loss_fn = cfg["loss_fn"]
+    params = list(model.parameters())
+    layout, _ = param_layout(params)
+    pblock = cfg["pblock"].attach()
+    gblock = cfg["gblock"].attach()
+    modules = dict(model.named_modules())
+    X = y = None
+    model.train()
+    while True:
+        msg = conn.recv()
+        kind = msg[0]
+        if kind == "stop":
+            return
+        if kind == "data":
+            X = msg[1].attach()
+            y = msg[2].attach()
+            continue
+        _, assignments, s0s = msg  # ("batch", [(shard, idx, weight)], s0s)
+        load_flat_params(params, layout, pblock)
+        for shard_idx, idx, weight in assignments:
+            fault_point("train.worker.crash")
+            for name, rng in shard_rngs(s0s, shard_idx).items():
+                modules[name].rng = rng
+            model.zero_grad()
+            xb = Tensor(np.asarray(X[idx]))
+            loss = loss_fn(model(xb), np.asarray(y[idx]))
+            loss.backward(weight)
+            flatten_grads(params, layout, gblock[shard_idx])
+            conn.send(("done", shard_idx, loss.item()))
+
+
+@dataclass
+class _Worker:
+    proc: mp.process.BaseProcess
+    conn: object  # multiprocessing.connection.Connection
+
+
+class GradientWorkerPool:
+    """Persistent spawn-context workers computing shard gradients.
+
+    The pool owns three shared-memory regions: a flat parameter block
+    (parent writes before each batch, workers read), a ``(max_shards, P)``
+    gradient block (workers write their shard rows, parent reduces), and —
+    per :meth:`set_data` call — the training arrays.  Workers are spawned
+    once and survive across epochs and ``fit`` calls; :meth:`close`
+    terminates them and unlinks every block.
+
+    ``worker_faults`` installs the given
+    :class:`~repro.resilience.faults.FaultSpec` s in every worker (the
+    ``train.worker.crash`` point fires at the top of each shard) — the
+    hook crash-safety tests use to SIGKILL a worker mid-epoch.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        loss_fn,
+        n_workers: int,
+        max_shards: int,
+        worker_faults: list[FaultSpec] | None = None,
+        max_worker_restarts: int = 3,
+    ):
+        if n_workers < 1 or max_shards < 1:
+            raise ValueError("n_workers and max_shards must be >= 1")
+        self._params = list(model.parameters())
+        self._layout, n_values = param_layout(self._params)
+        if n_values == 0:
+            raise ValueError("model has no parameters")
+        self._pshared = SharedArray((n_values,), np.float32)
+        self._gshared = SharedArray((max_shards, n_values), np.float32)
+        self.max_worker_restarts = max_worker_restarts
+        self._restarts = 0
+        self._ctx = mp.get_context("spawn")  # fork is unsafe with threaded BLAS
+        cfg = {
+            "model": model,
+            "loss_fn": loss_fn,
+            "pblock": self._pshared.handle(),
+            "gblock": self._gshared.handle(),
+            "faults": list(worker_faults or []),
+        }
+        self._payload = pickle.dumps(cfg, protocol=pickle.HIGHEST_PROTOCOL)
+        # Respawned replacements never re-arm the injected faults — the
+        # spec rehearses *a* crash, not a deterministic crash loop.
+        cfg["faults"] = []
+        self._respawn_payload = pickle.dumps(cfg, protocol=pickle.HIGHEST_PROTOCOL)
+        self._data_shared: list[SharedArray] = []
+        self._data_msg = None
+        self._workers = [self._spawn() for _ in range(n_workers)]
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def n_workers(self) -> int:
+        """Number of (live) worker slots."""
+        return len(self._workers)
+
+    @property
+    def grads(self) -> np.ndarray:
+        """The shared ``(max_shards, P)`` gradient block."""
+        return self._gshared.array
+
+    def _spawn(self, respawn: bool = False) -> _Worker:
+        payload = self._respawn_payload if respawn else self._payload
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main, args=(child_conn, payload), daemon=True
+        )
+        proc.start()
+        child_conn.close()
+        worker = _Worker(proc=proc, conn=parent_conn)
+        if self._data_msg is not None:
+            worker.conn.send(self._data_msg)
+        return worker
+
+    def set_data(self, X: np.ndarray, y: np.ndarray) -> None:
+        """Share a training set with every worker (one copy, zero-copy use)."""
+        for old in self._data_shared:
+            old.close(unlink=True)
+        self._data_shared = [shared_from_array(X), shared_from_array(y)]
+        self._data_msg = (
+            "data",
+            self._data_shared[0].handle(),
+            self._data_shared[1].handle(),
+        )
+        for worker in self._workers:
+            worker.conn.send(self._data_msg)
+
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        shards: list[np.ndarray],
+        weights: list[np.float32],
+        s0s: dict[str, int],
+    ) -> list[float]:
+        """Compute all shard gradients for one batch; returns shard losses.
+
+        Shard ``s`` goes to worker ``s % n_workers``.  Gradients land in
+        ``self.grads[s]``; the returned losses are in shard order.  Dead
+        workers are respawned and their unfinished shards redispatched —
+        the batch result is unchanged because every shard writes its own
+        slot and the caller reduces in shard order.
+        """
+        if len(shards) > self._gshared.array.shape[0]:
+            raise ValueError(
+                f"{len(shards)} shards exceed the pool's max_shards "
+                f"{self._gshared.array.shape[0]}"
+            )
+        store_flat_params(self._params, self._layout, self._pshared.array)
+        n_workers = len(self._workers)
+        # Which worker computes a shard never affects the result (fixed
+        # slots, fixed reduction order), so scheduling is free to adapt:
+        # spread shards over at most core-count workers.  Gradient shards
+        # are pure CPU — oversubscribing cores would only interleave the
+        # workers' multi-MB gradient scratch through the cache, so on a
+        # machine with fewer cores than workers the surplus workers stay
+        # warm and idle while a core-sized active set runs cache-hot.
+        active = max(1, min(n_workers, os.cpu_count() or 1))
+        queues: dict[int, list] = {}
+        for s, (idx, weight) in enumerate(zip(shards, weights)):
+            queues.setdefault(s % active, []).append((s, idx, weight))
+        max_inflight = active
+        inflight: set[int] = set()
+        losses: dict[int, float] = {}
+
+        def _dispatch() -> None:
+            for w in sorted(queues):
+                if len(inflight) >= max_inflight:
+                    return
+                if w not in inflight and queues[w]:
+                    self._workers[w].conn.send(
+                        ("batch", [queues[w][0]], s0s))
+                    inflight.add(w)
+
+        _dispatch()
+        while queues:
+            # Wake on the FIRST pipe with traffic (or EOF from a dead
+            # worker) instead of polling each in turn — per-worker
+            # timeouts serialize badly when several workers time-slice
+            # few cores.
+            by_conn = {self._workers[w].conn: w for w in inflight}
+            ready = mp.connection.wait(list(by_conn), timeout=1.0)
+            for conn in ready or list(by_conn):
+                w = by_conn[conn]
+                alive = True
+                try:
+                    # Drain everything available; a dead worker's pipe may
+                    # still hold results it sent before dying.
+                    while conn.poll(0):
+                        _kind, s, loss = conn.recv()
+                        losses[s] = loss
+                except (EOFError, OSError):
+                    alive = False
+                if alive and not ready:
+                    alive = self._workers[w].proc.is_alive()
+                before = len(queues[w])
+                queues[w] = [a for a in queues[w] if a[0] not in losses]
+                finished_some = len(queues[w]) < before
+                if not alive:
+                    inflight.discard(w)
+                    self._restarts += 1
+                    if self._restarts > self.max_worker_restarts:
+                        raise RuntimeError(
+                            f"gradient worker died {self._restarts} times; "
+                            f"giving up (max_worker_restarts="
+                            f"{self.max_worker_restarts})"
+                        )
+                    self._workers[w].conn.close()
+                    self._workers[w] = self._spawn(respawn=True)
+                if not queues[w]:
+                    del queues[w]
+                    inflight.discard(w)
+                elif finished_some:
+                    # Head shard done, more queued: free the slot so
+                    # _dispatch can hand out the next one.
+                    inflight.discard(w)
+            _dispatch()
+        return [losses[s] for s in range(len(shards))]
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop every worker and unlink all shared blocks."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            try:
+                worker.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self._workers:
+            worker.proc.join(timeout=5)
+            if worker.proc.is_alive():
+                worker.proc.terminate()
+                worker.proc.join(timeout=5)
+            worker.conn.close()
+        for shared in (self._pshared, self._gshared, *self._data_shared):
+            shared.close(unlink=True)
+        self._data_shared = []
+
+    def __enter__(self) -> "GradientWorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -20,6 +20,11 @@ from repro.perf.harness import (
     rss_mb,
     write_bench_json,
 )
+from repro.perf.train_bench import (
+    check_fused_gradient_parity,
+    check_parallel_trajectory,
+    run_train_bench,
+)
 
 __all__ = [
     "BenchResult",
@@ -33,4 +38,7 @@ __all__ = [
     "bench_datagen",
     "bench_serve",
     "run_perf_suite",
+    "run_train_bench",
+    "check_fused_gradient_parity",
+    "check_parallel_trajectory",
 ]

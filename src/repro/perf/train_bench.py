@@ -1,0 +1,383 @@
+"""The ``repro train-bench`` suite: fused-kernel and data-parallel gates.
+
+Three families of checks, all riding the :mod:`repro.perf.harness`
+conventions:
+
+1. **Fused-vs-slow gradient parity.**  Every layer with a fused backward
+   (``Linear``, ``Conv1d``, ``MaxPool1d``, ``LSTM``, ``BiLSTM``) is run
+   against its retained slow reference on the same inputs and cotangents;
+   any gradient that is not *bit-identical* raises
+   :class:`~repro.perf.harness.ParityError` (nonzero CLI exit).  A
+   two-epoch whole-model training run (all-fused vs all-slow) gates the
+   composition end to end.
+
+2. **Serial-vs-parallel trajectory parity.**  The same model is trained
+   with the in-process sharded path and with worker pools at several
+   ``n_jobs``; histories and final parameters must match bit-for-bit.
+
+3. **Throughput.**  ``lstm.train.epoch`` re-measures the committed
+   single-process baseline shape; ``lstm.train.epoch.j4`` weak-scales it
+   (shard of 256 samples per worker, global batch = shard × n_jobs) over
+   the persistent worker pool; datagen serial vs chunked-parallel rides
+   along.  Numbers land in ``BENCH_train.json``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perf.harness import BenchResult, ParityError, measure
+
+__all__ = [
+    "BASELINE_TRAIN_SAMPLES_PER_S",
+    "check_fused_gradient_parity",
+    "check_parallel_trajectory",
+    "bench_train_throughput",
+    "run_train_bench",
+]
+
+#: The committed pre-fusion single-process baseline (BENCH_train.json at
+#: the time the fused kernels landed); the throughput gates are multiples
+#: of this number.
+BASELINE_TRAIN_SAMPLES_PER_S = 906.6
+
+
+def _require(condition: bool, what: str) -> None:
+    if not condition:
+        raise ParityError(f"divergence: {what}")
+
+
+# ----------------------------------------------------------------------
+# 1. fused-vs-slow gradient parity
+# ----------------------------------------------------------------------
+def _grad_parity_case(make_layer, x_shape: tuple, seed: int, what: str) -> None:
+    """Twin layers (same init), same input/cotangent, bitwise-equal grads."""
+    from repro.nn.tensor import Tensor
+
+    rng = np.random.default_rng(seed)
+    x_data = rng.standard_normal(x_shape).astype(np.float32)
+    grads = {}
+    for fused in (True, False):
+        layer = make_layer()
+        layer.fused_backward = fused
+        x = Tensor(x_data.copy(), requires_grad=True)
+        out = layer(x)
+        cot = np.random.default_rng(seed + 1) \
+            .standard_normal(out.shape).astype(np.float32)
+        out.backward(cot)
+        grads[fused] = {
+            **{name: p.grad.copy() for name, p in layer.named_parameters()},
+            "__x__": x.grad.copy(),
+        }
+    for name in grads[True]:
+        _require(
+            np.array_equal(grads[True][name], grads[False][name]),
+            f"{what}: gradient of {name} (fused vs slow)",
+        )
+
+
+def check_fused_gradient_parity(seed: int = 0) -> list[str]:
+    """Bitwise fused-vs-slow gradient parity for every fused layer.
+
+    Returns the list of checked case names; raises
+    :class:`~repro.perf.harness.ParityError` on the first divergence.
+    """
+    from repro.nn.layers.conv import Conv1d, MaxPool1d
+    from repro.nn.layers.linear import Linear
+    from repro.nn.layers.rnn import BiLSTM, LSTM
+
+    cases = [
+        ("linear.2d", lambda: Linear(13, 7, rng=seed), (8, 13)),
+        ("linear.3d", lambda: Linear(5, 9, rng=seed), (4, 6, 5)),
+        ("linear.nobias", lambda: Linear(13, 7, bias=False, rng=seed), (8, 13)),
+        ("conv1d.k5", lambda: Conv1d(7, 11, 5, rng=seed), (4, 30, 7)),
+        ("conv1d.same", lambda: Conv1d(7, 11, 5, padding="same", rng=seed),
+         (4, 30, 7)),
+        ("conv1d.stride2", lambda: Conv1d(3, 4, 3, stride=2, rng=seed),
+         (2, 19, 3)),
+        ("maxpool.k2", lambda: MaxPool1d(2), (4, 30, 7)),
+        ("maxpool.k3s2", lambda: MaxPool1d(3, stride=2), (4, 30, 7)),
+        ("lstm", lambda: LSTM(7, 12, rng=seed), (5, 17, 7)),
+        ("bilstm", lambda: BiLSTM(7, 12, rng=seed), (5, 17, 7)),
+    ]
+    for what, make_layer, x_shape in cases:
+        _grad_parity_case(make_layer, x_shape, seed, what)
+
+    _whole_model_parity(seed)
+    return [c[0] for c in cases] + ["model.2epoch"]
+
+
+def _make_classifier(seed: int, *, dropout: float = 0.5, t: int = 20,
+                     hidden: int = 16, k: int = 5):
+    from repro.models import LSTMClassifier
+
+    return LSTMClassifier(n_sensors=7, seq_len=t, n_classes=k,
+                          hidden_size=hidden, dropout=dropout, seed=seed)
+
+
+def _fit_history(trainer, X, y, Xv, yv):
+    hist = trainer.fit(X, y, Xv, yv)
+    return (
+        [(e.epoch, e.train_loss, e.val_accuracy, e.lr) for e in hist.epochs],
+        {n: p.data.copy() for n, p in trainer.model.named_parameters()},
+    )
+
+
+def _train_data(seed: int, n: int = 64, t: int = 20, k: int = 5):
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((n, t, 7)).astype(np.float32)
+    y = rng.integers(0, k, size=n).astype(np.int64)
+    return X, y, X[: n // 4], y[: n // 4]
+
+
+def _whole_model_parity(seed: int) -> None:
+    """Two training epochs, all layers fused vs all slow: same trajectory."""
+    from repro.nn import Adam, NLLLoss, Trainer
+
+    X, y, Xv, yv = _train_data(seed)
+    runs = {}
+    for fused in (True, False):
+        model = _make_classifier(seed)
+        for m in model.modules():
+            if hasattr(m, "fused_backward"):
+                m.fused_backward = fused
+        trainer = Trainer(model, Adam(model.parameters(), lr=1e-3), NLLLoss(),
+                          batch_size=16, max_epochs=2, patience=100,
+                          shuffle_rng=seed)
+        runs[fused] = _fit_history(trainer, X, y, Xv, yv)
+    _require(runs[True][0] == runs[False][0],
+             "model.2epoch: loss/accuracy trajectory (fused vs slow)")
+    for name in runs[True][1]:
+        _require(np.array_equal(runs[True][1][name], runs[False][1][name]),
+                 f"model.2epoch: final parameter {name} (fused vs slow)")
+
+
+# ----------------------------------------------------------------------
+# 2. serial-vs-parallel trajectory parity
+# ----------------------------------------------------------------------
+def check_parallel_trajectory(seed: int = 0,
+                              worker_counts: tuple[int, ...] = (2, 4)) -> list[str]:
+    """Sharded training must be a pure function of ``shard_size``.
+
+    Gates, all bitwise: the unsharded loop vs one-shard batches
+    (dropout-free model), and the in-process sharded path vs a worker
+    pool at every count in ``worker_counts`` (dropout on, pinned
+    ``shard_size``).
+    """
+    from repro.nn import Adam, NLLLoss, Trainer
+
+    X, y, Xv, yv = _train_data(seed)
+    checked = []
+
+    def run(n_jobs, shard_size, dropout):
+        model = _make_classifier(seed, dropout=dropout)
+        trainer = Trainer(model, Adam(model.parameters(), lr=1e-3), NLLLoss(),
+                          batch_size=16, max_epochs=2, patience=100,
+                          shuffle_rng=seed, n_jobs=n_jobs,
+                          shard_size=shard_size)
+        with trainer:
+            return _fit_history(trainer, X, y, Xv, yv)
+
+    legacy = run(1, None, 0.0)
+    one_shard = run(1, 16, 0.0)
+    _require(legacy[0] == one_shard[0],
+             "one-shard sharded vs classic loop (dropout-free)")
+    for name in legacy[1]:
+        _require(np.array_equal(legacy[1][name], one_shard[1][name]),
+                 f"one-shard final parameter {name} vs classic loop")
+    checked.append("sharded.oneshard")
+
+    reference = run(1, 4, 0.5)
+    for n_jobs in worker_counts:
+        pooled = run(n_jobs, 4, 0.5)
+        _require(reference[0] == pooled[0],
+                 f"trajectory at n_jobs={n_jobs} vs in-process shards")
+        for name in reference[1]:
+            _require(np.array_equal(reference[1][name], pooled[1][name]),
+                     f"final parameter {name} at n_jobs={n_jobs}")
+        checked.append(f"sharded.j{n_jobs}")
+    return checked
+
+
+# ----------------------------------------------------------------------
+# 3. throughput
+# ----------------------------------------------------------------------
+def bench_train_throughput(
+    scale: float = 1.0, *, warmup: int = 1, repeats: int = 3,
+    n_jobs: int = 4, seed: int = 0,
+) -> list[BenchResult]:
+    """Training throughput: baseline shape, then weak-scaled data-parallel.
+
+    ``lstm.train.epoch`` reproduces the committed baseline protocol
+    exactly (model built inside the timed region, batch 32, one epoch
+    incl. validation).  The ``.sharded`` / ``.j{n}`` variants weak-scale:
+    256-sample shards, global batch = shard × ``n_jobs``, measured on a
+    pre-warmed persistent pool — per-worker work stays constant as
+    workers are added, the honest scaling convention for a batch-size-
+    dependent optimizer trajectory.
+    """
+    from repro.models import LSTMClassifier
+    from repro.nn import Adam, NLLLoss, Trainer
+
+    t, sensors, k, hidden = 96, 7, 26, 32
+    n = max(16, int(256 * scale))
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, t, sensors)).astype(np.float32)
+    y = rng.integers(0, k, size=n)
+    Xv, yv = X[: max(8, n // 8)], y[: max(8, n // 8)]
+    cfg = {"n": n, "t": t, "sensors": sensors, "hidden": hidden, "k": k}
+
+    def make_model() -> LSTMClassifier:
+        return LSTMClassifier(n_sensors=sensors, seq_len=t, n_classes=k,
+                              hidden_size=hidden, seed=seed)
+
+    def train_epoch():
+        model = make_model()
+        trainer = Trainer(model, Adam(model.parameters(), lr=1e-3), NLLLoss(),
+                          batch_size=32, max_epochs=1, patience=10,
+                          shuffle_rng=seed)
+        trainer.fit(X, y, Xv, yv)
+
+    results = [
+        measure(train_epoch, bench="lstm.train.epoch", n_samples=n,
+                config=cfg, warmup=min(warmup, 1), repeats=repeats),
+    ]
+
+    # Weak-scaled data-parallel epochs: shard 256 (scaled), batch grows
+    # with the worker count, the pool spawn cost sits outside the timed
+    # region (workers persist across epochs — the steady state that
+    # matters for a 100-epoch fit).
+    shard = max(16, int(256 * scale))
+    n_par = max(4 * shard, int(2048 * scale))
+    Xp = rng.normal(size=(n_par, t, sensors)).astype(np.float32)
+    yp = rng.integers(0, k, size=n_par)
+    Xpv, ypv = Xp[: max(8, n_par // 8)], yp[: max(8, n_par // 8)]
+
+    for jobs in (1, n_jobs):
+        batch = shard * max(jobs, 4)  # same global batch at every n_jobs
+        model = make_model()
+        trainer = Trainer(model, Adam(model.parameters(), lr=1e-3), NLLLoss(),
+                          batch_size=batch, max_epochs=1, patience=10,
+                          shuffle_rng=seed, n_jobs=jobs, shard_size=shard)
+        suffix = "sharded" if jobs == 1 else f"j{jobs}"
+        pcfg = {**cfg, "n": n_par, "batch": batch, "shard": shard,
+                "n_jobs": jobs}
+        with trainer:
+            results.append(measure(
+                lambda: trainer.fit(Xp, yp, Xpv, ypv),
+                bench=f"lstm.train.epoch.{suffix}", n_samples=n_par,
+                config=pcfg, warmup=max(warmup, 1), repeats=repeats,
+            ))
+    return results
+
+
+# ----------------------------------------------------------------------
+def _bench_datagen_paired(
+    scale: float, *, repeats: int = 5, n_jobs: int = 2, seed: int = 2022,
+) -> list[BenchResult]:
+    """Serial vs chunked-parallel datagen, *interleaved* timing.
+
+    :func:`repro.perf.benches.bench_datagen` times the two paths in
+    separate windows, so a background-load spike lands on one side only.
+    Here each repeat times the two back to back, alternating which runs
+    first — noise and allocator/cache order effects hit both sides, and
+    the committed serial/parallel ratio reflects dispatch cost, not
+    scheduler weather.  Parity is gated exactly as in the original.
+    """
+    import time
+
+    from repro.simcluster.cluster import ClusterSimulator, SimulationConfig
+
+    cfg = SimulationConfig(seed=seed, trials_scale=max(0.005, 0.03 * scale))
+    sim = ClusterSimulator(cfg)
+    n_gen = len(sim.job_plan())
+
+    s_jobs, _ = sim.generate()
+    p_jobs, _ = sim.generate(n_jobs=n_jobs)
+    same = len(s_jobs) == len(p_jobs) and all(
+        a.record == b.record
+        and all(np.array_equal(ga.data, gb.data)
+                for ga, gb in zip(a.gpu_series, b.gpu_series))
+        for a, b in zip(s_jobs, p_jobs)
+    )
+    _require(same, f"parallel datagen at n_jobs={n_jobs}")
+    del s_jobs, p_jobs
+
+    t_serial = np.empty(repeats)
+    t_par = np.empty(repeats)
+    for r in range(repeats):
+        first_serial = r % 2 == 0
+        for serial_side in (first_serial, not first_serial):
+            tic = time.perf_counter()
+            if serial_side:
+                sim.generate()
+                t_serial[r] = time.perf_counter() - tic
+            else:
+                sim.generate(n_jobs=n_jobs)
+                t_par[r] = time.perf_counter() - tic
+
+    bench_cfg = {"trials_scale": cfg.trials_scale, "jobs": n_gen}
+
+    def result(name: str, times: np.ndarray, extra: dict) -> BenchResult:
+        p50 = float(np.percentile(times, 50))
+        return BenchResult(
+            bench=name, config={**bench_cfg, **extra},
+            samples_per_s=float(n_gen / p50) if p50 > 0 else float("inf"),
+            p50_s=p50, p95_s=float(np.percentile(times, 95)), rss_mb=0.0,
+        )
+
+    return [
+        result("datagen.serial", t_serial, {}),
+        result(f"datagen.parallel.j{n_jobs}", t_par, {"n_jobs": n_jobs}),
+    ]
+
+
+def run_train_bench(
+    scale: float = 1.0, *, warmup: int = 1, repeats: int = 3,
+    n_jobs: int = 4, seed: int = 0, gate_throughput: bool | None = None,
+) -> tuple[list[BenchResult], list[str], list[str]]:
+    """Full train-bench: parity gates, then throughput; returns results.
+
+    Parity divergence raises :class:`~repro.perf.harness.ParityError`.
+    Throughput gates (multiples of :data:`BASELINE_TRAIN_SAMPLES_PER_S`,
+    and chunked-parallel datagen vs serial) are checked when
+    ``gate_throughput`` is true (default: only at ``scale >= 1``, where
+    the baseline shape is actually measured); failures are returned as a
+    list of messages so the CLI can exit nonzero after writing results.
+    """
+    if gate_throughput is None:
+        gate_throughput = scale >= 1.0
+
+    checked = check_fused_gradient_parity(seed)
+    checked += check_parallel_trajectory(
+        seed, worker_counts=(2, n_jobs) if n_jobs != 2 else (2,))
+
+    results = bench_train_throughput(scale, warmup=warmup, repeats=repeats,
+                                     n_jobs=n_jobs, seed=seed)
+    results += _bench_datagen_paired(scale, repeats=max(repeats, 5), n_jobs=2)
+
+    failures: list[str] = []
+    if gate_throughput:
+        by_name = {r.bench: r for r in results}
+        single = by_name["lstm.train.epoch"].samples_per_s
+        par = by_name[f"lstm.train.epoch.j{n_jobs}"].samples_per_s
+        gates = [
+            (f"lstm.train.epoch {single:.0f}/s >= 1.5x baseline "
+             f"{BASELINE_TRAIN_SAMPLES_PER_S:.0f}/s",
+             single >= 1.5 * BASELINE_TRAIN_SAMPLES_PER_S),
+            (f"lstm.train.epoch.j{n_jobs} {par:.0f}/s >= 2.5x baseline "
+             f"{BASELINE_TRAIN_SAMPLES_PER_S:.0f}/s",
+             par >= 2.5 * BASELINE_TRAIN_SAMPLES_PER_S),
+        ]
+        serial = by_name["datagen.serial"].samples_per_s
+        par_dg = by_name["datagen.parallel.j2"].samples_per_s
+        # 5% tolerance: on a single-core host the parallel path falls back
+        # to the identical serial loop, so the two measurements differ
+        # only by timer noise.
+        gates.append((
+            f"datagen.parallel.j2 {par_dg:.0f}/s >= datagen.serial "
+            f"{serial:.0f}/s",
+            par_dg >= 0.95 * serial,
+        ))
+        failures = [msg for msg, ok in gates if not ok]
+    return results, failures, checked

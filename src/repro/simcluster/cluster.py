@@ -180,10 +180,13 @@ class ClusterSimulator:
         """Generate the whole release.
 
         With ``n_jobs > 1`` the job plan is fanned out over worker
-        processes via :func:`repro.parallel.parallel_map`.  Every job
-        draws from its own named seed stream (see :meth:`generate_one`),
-        so the release is bit-identical to the serial path at any
-        ``n_jobs`` — pinned by the test suite.
+        processes via :func:`repro.parallel.parallel_map` in contiguous
+        *chunks* (one pool message and one result pickle per chunk, not
+        per job — per-job dispatch made the parallel path slower than
+        serial on small jobs).  Every job draws from its own named seed
+        stream (see :meth:`generate_one`), so the release is
+        bit-identical to the serial path at any ``n_jobs`` and any
+        chunking — pinned by the test suite.
 
         ``store`` (an optional :class:`~repro.store.TelemetryStore`)
         archives every GPU series as it is generated: the jobs are
@@ -191,9 +194,17 @@ class ClusterSimulator:
         reads back bit-identical float32 telemetry.
         """
         plan = self.job_plan()
-        if effective_n_jobs(n_jobs) > 1 and len(plan) > 1:
-            jobs = parallel_map(_GenerateJobWorker(self.config), plan,
-                                n_jobs=n_jobs)
+        jobs_eff = effective_n_jobs(n_jobs)
+        if jobs_eff > 1 and len(plan) > 1:
+            # ~2 chunks per worker: few enough messages that IPC is
+            # amortized, enough slack that a worker landing the heavy
+            # classes doesn't serialize the tail.
+            n_chunks = min(len(plan), jobs_eff * 2)
+            bounds = np.linspace(0, len(plan), n_chunks + 1, dtype=int)
+            chunks = [plan[a:b] for a, b in zip(bounds[:-1], bounds[1:]) if b > a]
+            chunk_jobs = parallel_map(_GenerateJobWorker(self.config), chunks,
+                                      n_jobs=n_jobs, chunksize=1)
+            jobs = [job for chunk in chunk_jobs for job in chunk]
         else:
             jobs = [self.generate_one(job_id, spec) for job_id, spec in plan]
         log = SchedulerLog()
@@ -205,11 +216,12 @@ class ClusterSimulator:
 
 
 class _GenerateJobWorker:
-    """Picklable per-job generator for process pools.
+    """Picklable per-chunk generator for process pools.
 
     Each worker process rebuilds the simulator lazily from the config
     (generator state never crosses the process boundary; determinism
-    comes from the per-job named seed streams).
+    comes from the per-job named seed streams) and generates a whole
+    contiguous chunk of the plan per call.
     """
 
     def __init__(self, config: SimulationConfig):
@@ -223,8 +235,9 @@ class _GenerateJobWorker:
         self.config = state["config"]
         self._sim = None
 
-    def __call__(self, item: tuple[int, "ArchitectureSpec"]) -> SimulatedJob:
+    def __call__(
+        self, chunk: list[tuple[int, "ArchitectureSpec"]]
+    ) -> list[SimulatedJob]:
         if self._sim is None:
             self._sim = ClusterSimulator(self.config)
-        job_id, spec = item
-        return self._sim.generate_one(job_id, spec)
+        return [self._sim.generate_one(job_id, spec) for job_id, spec in chunk]

@@ -1,0 +1,269 @@
+"""Data-parallel training: bit-identical to single-process at any n_jobs.
+
+The determinism contract (see :mod:`repro.nn.training.parallel`): the
+training trajectory is a pure function of ``shard_size`` — never of
+``n_jobs`` — so the same fit can be replayed serially, with in-process
+shards, or across a SIGKILL-prone worker pool and land on the same bits.
+Worker-pool tests keep worker counts and epochs small: each spawn costs
+1–2 s on the CI box.
+"""
+
+import os
+import tempfile
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.models.lstm_baseline import LSTMClassifier
+from repro.nn.loss import NLLLoss
+from repro.nn.optim.adam import Adam
+from repro.nn.tensor import Tensor
+from repro.nn.training.parallel import (
+    flatten_grads,
+    param_layout,
+    reduce_flat_grads,
+    scatter_flat_grads,
+    shard_rngs,
+)
+from repro.nn.training.trainer import Trainer
+from repro.resilience.faults import FaultSpec
+
+
+def _data(n=64, t=20, d=7, k=5, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((n, t, d)).astype(np.float32)
+    y = rng.integers(0, k, size=n).astype(np.int64)
+    return X, y
+
+
+def _run(n_jobs, shard_size, dropout, epochs=2, seed=0, worker_faults=None,
+         checkpoint_path=None, batch_size=16):
+    X, y = _data(seed=seed)
+    Xv, yv = X[:16], y[:16]
+    model = LSTMClassifier(n_sensors=7, seq_len=20, n_classes=5,
+                           hidden_size=16, dropout=dropout, seed=seed)
+    trainer = Trainer(model, Adam(model.parameters(), lr=1e-3), NLLLoss(),
+                      batch_size=batch_size, max_epochs=epochs, patience=100,
+                      shuffle_rng=seed, n_jobs=n_jobs, shard_size=shard_size,
+                      worker_faults=worker_faults)
+    with trainer:
+        hist = trainer.fit(X, y, Xv, yv, checkpoint_path=checkpoint_path)
+    return (
+        [(e.epoch, e.train_loss, e.val_accuracy, e.lr) for e in hist.epochs],
+        {n: p.data.copy() for n, p in model.named_parameters()},
+    )
+
+
+def _assert_same(a, b, what):
+    assert a[0] == b[0], f"{what}: trajectory differs:\n{a[0]}\n{b[0]}"
+    for name in a[1]:
+        assert np.array_equal(a[1][name], b[1][name]), (
+            f"{what}: final parameter {name} differs")
+
+
+# ----------------------------------------------------------------------
+# flat-gradient plumbing
+# ----------------------------------------------------------------------
+class TestFlatGradients:
+    def _params(self, seed=0):
+        rng = np.random.default_rng(seed)
+        return [Tensor(rng.standard_normal(s).astype(np.float32),
+                       requires_grad=True)
+                for s in [(3, 4), (4,), (2, 5)]]
+
+    def test_layout_covers_all_values(self):
+        params = self._params()
+        layout, total = param_layout(params)
+        assert total == sum(p.data.size for p in params)
+        assert layout[0][0] == 0 and layout[-1][1] == total
+        for (_, stop), (start, _) in zip(layout[:-1], layout[1:]):
+            assert stop == start
+
+    def test_flatten_scatter_roundtrip(self):
+        params = self._params()
+        layout, total = param_layout(params)
+        rng = np.random.default_rng(1)
+        grads = [rng.standard_normal(p.data.shape).astype(np.float32)
+                 for p in params]
+        for p, g in zip(params, grads):
+            p._accum(g)
+        flat = np.empty(total, np.float32)
+        flatten_grads(params, layout, flat)
+        for p in params:
+            p.zero_grad()
+        scatter_flat_grads(params, layout, flat)
+        for p, g in zip(params, grads):
+            np.testing.assert_array_equal(p.grad, g)
+
+    def test_flatten_zeros_absent_grads(self):
+        params = self._params()
+        layout, total = param_layout(params)
+        params[0]._accum(np.ones((3, 4), np.float32))
+        flat = np.full(total, -1.0, np.float32)
+        flatten_grads(params, layout, flat)
+        np.testing.assert_array_equal(flat[:12], 1.0)
+        np.testing.assert_array_equal(flat[12:], 0.0)
+
+    def test_reduce_is_serial_shard_order(self):
+        # copyto(acc, g0) then add in ascending shard order — the exact
+        # float32 sum the single-process loop produces.
+        rng = np.random.default_rng(2)
+        gblock = rng.standard_normal((4, 9)).astype(np.float32)
+        out = np.empty(9, np.float32)
+        reduce_flat_grads(gblock, 3, out)
+        expected = gblock[0].copy()
+        for s in (1, 2):
+            expected += gblock[s]
+        np.testing.assert_array_equal(out, expected)
+
+    def test_shard_rngs_depend_on_shard_index(self):
+        a = shard_rngs({"m": 123}, 0)["m"].random(4)
+        b = shard_rngs({"m": 123}, 1)["m"].random(4)
+        a2 = shard_rngs({"m": 123}, 0)["m"].random(4)
+        np.testing.assert_array_equal(a, a2)
+        assert not np.array_equal(a, b)
+
+
+# ----------------------------------------------------------------------
+# in-process sharding (no worker pool — cheap enough for hypothesis)
+# ----------------------------------------------------------------------
+class TestInProcessSharding:
+    def test_one_shard_matches_legacy(self):
+        # shard_size == batch_size, dropout off: the sharded step must
+        # reproduce the classic loop exactly (backward(1.0) ≡ backward()).
+        legacy = _run(n_jobs=1, shard_size=None, dropout=0.0)
+        one_shard = _run(n_jobs=1, shard_size=16, dropout=0.0)
+        _assert_same(legacy, one_shard, "one-shard vs legacy")
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(0, 10_000), st.sampled_from([4, 8, 16]),
+           st.sampled_from([8, 16]))
+    def test_trajectory_is_function_of_shard_size(self, seed, shard, batch):
+        # Same shard_size via different in-process decompositions: the
+        # sharded path may not depend on anything but the shard bounds.
+        a = _run(n_jobs=1, shard_size=min(shard, batch), dropout=0.0,
+                 epochs=1, seed=seed, batch_size=batch)
+        b = _run(n_jobs=1, shard_size=min(shard, batch), dropout=0.0,
+                 epochs=1, seed=seed, batch_size=batch)
+        _assert_same(a, b, f"replay shard={shard} batch={batch}")
+        if shard >= batch:
+            legacy = _run(n_jobs=1, shard_size=None, dropout=0.0,
+                          epochs=1, seed=seed, batch_size=batch)
+            _assert_same(a, legacy, f"one-shard shard={shard} batch={batch}")
+
+
+# ----------------------------------------------------------------------
+# worker pools
+# ----------------------------------------------------------------------
+class TestWorkerPoolParity:
+    def test_n_jobs_bit_identical(self):
+        # The headline gate: n_jobs ∈ {1, 2, 4} at pinned shard_size,
+        # dropout on, must produce the same bits.
+        runs = {j: _run(n_jobs=j, shard_size=4, dropout=0.5) for j in (1, 2, 4)}
+        _assert_same(runs[1], runs[2], "n_jobs=2 vs in-process")
+        _assert_same(runs[1], runs[4], "n_jobs=4 vs in-process")
+
+    def test_sigkilled_worker_recovers_bit_identical(self):
+        # SIGKILL a worker on its 3rd shard mid-epoch; the pool respawns
+        # it (fault stripped) and redoes the lost shard.
+        clean = _run(n_jobs=2, shard_size=4, dropout=0.5)
+        crashed = _run(
+            n_jobs=2, shard_size=4, dropout=0.5,
+            worker_faults=[FaultSpec("train.worker.crash", at_hit=3,
+                                     mode="kill")])
+        _assert_same(clean, crashed, "SIGKILLed worker recovery")
+
+    def test_checkpoint_resume_bit_exact(self):
+        X, y = _data()
+        Xv, yv = X[:16], y[:16]
+        full = _run(n_jobs=2, shard_size=4, dropout=0.5, epochs=4)
+        with tempfile.TemporaryDirectory() as td:
+            ck = os.path.join(td, "ck.pkl")
+            _run(n_jobs=2, shard_size=4, dropout=0.5, epochs=2,
+                 checkpoint_path=ck)
+            model = LSTMClassifier(n_sensors=7, seq_len=20, n_classes=5,
+                                   hidden_size=16, dropout=0.5, seed=0)
+            trainer = Trainer(model, Adam(model.parameters(), lr=1e-3),
+                              NLLLoss(), batch_size=16, max_epochs=4,
+                              patience=100, shuffle_rng=0, n_jobs=2,
+                              shard_size=4)
+            with trainer:
+                hist = trainer.resume(ck, X, y, Xv, yv)
+        resumed = (
+            [(e.epoch, e.train_loss, e.val_accuracy, e.lr)
+             for e in hist.epochs],
+            {n: p.data.copy() for n, p in model.named_parameters()},
+        )
+        _assert_same(full, resumed, "checkpoint/resume at n_jobs=2")
+
+    def test_n_jobs_validation(self):
+        model = LSTMClassifier(n_sensors=7, seq_len=20, n_classes=5,
+                               hidden_size=16, seed=0)
+        with pytest.raises(ValueError):
+            Trainer(model, Adam(model.parameters(), lr=1e-3), NLLLoss(),
+                    n_jobs=0)
+
+
+# ----------------------------------------------------------------------
+# chunked evaluate_accuracy
+# ----------------------------------------------------------------------
+class TestChunkedEvaluateAccuracy:
+    def _trainer(self, batch_size):
+        model = LSTMClassifier(n_sensors=7, seq_len=20, n_classes=5,
+                               hidden_size=16, seed=0)
+        return Trainer(model, Adam(model.parameters(), lr=1e-3), NLLLoss(),
+                       batch_size=batch_size)
+
+    @pytest.mark.parametrize("n,batch", [(1, 16), (16, 16), (17, 16),
+                                         (33, 8), (5, 64)])
+    def test_matches_full_batch_mean(self, n, batch):
+        X, y = _data(n=max(n, 1))
+        X, y = X[:n], y[:n]
+        trainer = self._trainer(batch)
+        acc = trainer.evaluate_accuracy(X, y)
+        pred = trainer.predict(X)
+        assert acc == float(np.mean(pred == y))
+
+    def test_empty_is_nan(self):
+        X, y = _data(n=4)
+        trainer = self._trainer(16)
+        assert np.isnan(trainer.evaluate_accuracy(X[:0], y[:0]))
+
+
+# ----------------------------------------------------------------------
+# chunked datagen dispatch
+# ----------------------------------------------------------------------
+class TestChunkedDatagenDispatch:
+    def test_chunks_not_single_jobs(self, monkeypatch):
+        # The regression this pins: per-job dispatch made parallel datagen
+        # slower than serial.  Force a multi-core view and capture what
+        # generate() hands the pool — contiguous chunks, ~2 per worker,
+        # and the flattened result must be bit-identical to serial.
+        from repro.simcluster import cluster as mod
+
+        cfg = mod.SimulationConfig(seed=11, trials_scale=0.004,
+                                   min_jobs_per_class=1)
+        serial_jobs, serial_log = mod.ClusterSimulator(cfg).generate()
+
+        dispatched = []
+
+        def fake_parallel_map(fn, items, n_jobs=None, chunksize=1):
+            dispatched.extend(items)
+            return [fn(item) for item in items]
+
+        monkeypatch.setattr(mod, "effective_n_jobs", lambda n: 2)
+        monkeypatch.setattr(mod, "parallel_map", fake_parallel_map)
+        par_jobs, par_log = mod.ClusterSimulator(cfg).generate(n_jobs=2)
+
+        plan_len = len(mod.ClusterSimulator(cfg).job_plan())
+        assert 1 < len(dispatched) <= 4  # chunks, not plan_len messages
+        assert sum(len(c) for c in dispatched) == plan_len
+        assert all(len(c) > 0 for c in dispatched)
+
+        assert list(serial_log) == list(par_log)
+        assert len(serial_jobs) == len(par_jobs)
+        for a, b in zip(serial_jobs, par_jobs):
+            assert a.record == b.record
+            for ga, gb in zip(a.gpu_series, b.gpu_series):
+                assert np.array_equal(ga.data, gb.data)
